@@ -1,0 +1,82 @@
+"""A3 — Section 5.3's promised memory-organization study.
+
+"In addition, this methodology may be used to measure the effects of
+different memory organizations or implementation to the total system
+performance."  This bench varies exactly those knobs: shared vs dedicated
+configuration bus, configuration-memory latency, and fetch burst length.
+
+Expected shape: a dedicated configuration bus removes config traffic from
+the component interface bus (lower data-bus utilization, equal-or-better
+makespan); higher configuration-memory latency hurts, and longer fetch
+bursts amortize it away.
+"""
+
+import pytest
+
+from repro.dse import Explorer, ParameterSpace, evaluate_architecture, format_points
+
+BASE = {
+    "tech": "varicore",
+    "accels": ("fir", "fft"),
+    "n_frames": 2,
+    "workload": "interleaved",
+}
+
+
+def sweep():
+    space = (
+        ParameterSpace()
+        .add_axis("dedicated_config_bus", [False, True])
+        .add_axis("cfg_latency_cycles", [2, 32])
+        .add_axis("config_burst_words", [8, 64])
+    )
+    points = Explorer(lambda p: evaluate_architecture({**BASE, **p})).run(space)
+    return points
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep()
+
+
+def select(points, **criteria):
+    for p in points:
+        if all(p.params[k] == v for k, v in criteria.items()):
+            return p.metrics
+    raise KeyError(criteria)
+
+
+def test_a3_memory_organizations(benchmark, points, save_table):
+    benchmark.pedantic(
+        lambda: evaluate_architecture({**BASE, "dedicated_config_bus": True}),
+        rounds=2,
+        iterations=1,
+    )
+
+    # Dedicated config bus: the interface bus carries no config words.
+    shared = select(points, dedicated_config_bus=False, cfg_latency_cycles=2, config_burst_words=64)
+    private = select(points, dedicated_config_bus=True, cfg_latency_cycles=2, config_burst_words=64)
+    assert shared["bus_config_words"] > 0
+    assert private["bus_config_words"] == 0
+    assert private["bus_utilization"] < shared["bus_utilization"]
+    assert private["makespan_us"] <= shared["makespan_us"] * 1.05
+
+    # Slower configuration memory hurts; longer bursts amortize it.
+    for dedicated in (False, True):
+        fast = select(points, dedicated_config_bus=dedicated, cfg_latency_cycles=2, config_burst_words=64)
+        slow = select(points, dedicated_config_bus=dedicated, cfg_latency_cycles=32, config_burst_words=64)
+        slow_small_burst = select(
+            points, dedicated_config_bus=dedicated, cfg_latency_cycles=32, config_burst_words=8
+        )
+        assert slow["makespan_us"] > fast["makespan_us"]
+        assert slow_small_burst["makespan_us"] > slow["makespan_us"]
+
+    save_table(
+        "a3_memory_org",
+        format_points(
+            points,
+            param_keys=("dedicated_config_bus", "cfg_latency_cycles", "config_burst_words"),
+            metric_keys=("makespan_us", "reconfig_time_us", "bus_config_words", "bus_utilization"),
+            title="A3: memory organization study (Section 5.3)",
+        ),
+    )

@@ -1,0 +1,77 @@
+"""A5 — ablation: on-chip configuration cache.
+
+Chapter 2 counts "memories storing configurations" among the costs of
+reconfigurable systems; this ablation quantifies the other side of that
+trade: an on-chip bitstream cache in front of the configuration-memory
+path removes repeat fetches from the system bus.
+
+Expected shape: with capacity for the working set, only cold loads touch
+the bus (traffic drops to #contexts × context-words) and makespan falls;
+with capacity for a single bitstream, an alternating workload thrashes and
+the cache buys nothing.
+"""
+
+import pytest
+
+from repro.dse import format_table
+from tests.core.helpers import DrcfRig, small_tech
+
+ACCESSES = [0, 1, 0, 1, 0, 1, 0, 1]
+GATES = 2000  # 2000-byte bitstreams on the unit technology
+
+
+def run_with_cache(cache_bytes):
+    # Fast config port: loads are bus-bound, so cache hits save real time.
+    tech = small_tech(
+        context_slots=1, config_port_width_bits=256, config_port_freq_hz=400e6
+    )
+    rig = DrcfRig(
+        n_contexts=2, tech=tech, context_gates=GATES, config_cache_bytes=cache_bytes
+    )
+
+    def body():
+        for index in ACCESSES:
+            yield from rig.master_read(rig.addr(index))
+
+    rig.sim.spawn("p", body)
+    rig.sim.run()
+    cache = rig.drcf.config_cache
+    return {
+        "cache_bytes": cache_bytes or 0,
+        "makespan_us": rig.sim.now.to_us(),
+        "bus_config_words": rig.bus.monitor.words_by_tag("config"),
+        "cache_hits": cache.hits if cache else 0,
+        "cache_evictions": cache.evictions if cache else 0,
+    }
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [run_with_cache(c) for c in (None, 2048, 8192)]
+
+
+def test_a5_config_cache(benchmark, rows, save_table):
+    benchmark.pedantic(run_with_cache, args=(8192,), rounds=2, iterations=1)
+
+    none, small, big = rows
+    words = 500  # 2000 bytes / 4
+
+    # No cache: every one of the 8 switches fetches over the bus.
+    assert none["bus_config_words"] == len(ACCESSES) * words
+
+    # One-bitstream cache thrashes on the alternating pattern: zero hits,
+    # same traffic, continuous evictions.
+    assert small["cache_hits"] == 0
+    assert small["bus_config_words"] == none["bus_config_words"]
+    assert small["cache_evictions"] > 0
+
+    # Working-set-sized cache: only the 2 cold loads reach the bus, the
+    # other 6 switches hit on chip, and the run gets faster.
+    assert big["bus_config_words"] == 2 * words
+    assert big["cache_hits"] == len(ACCESSES) - 2
+    assert big["makespan_us"] < none["makespan_us"]
+
+    save_table(
+        "a5_config_cache",
+        format_table(rows, title="A5: on-chip bitstream cache vs capacity"),
+    )

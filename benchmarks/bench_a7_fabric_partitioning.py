@@ -1,0 +1,96 @@
+"""A7 — ablation: one big fabric vs several smaller fabrics.
+
+The paper criticizes partitioning approaches that "assume that the
+application is implemented in single reconfigurable block" — real designs
+need more complex architectures.  This bench quantifies the fabric-count
+choice: the same four blocks as one 4-context DRCF, two 2-context DRCFs,
+or four dedicated blocks.
+
+Expected shape: splitting the working set across fabrics removes context
+thrash on multi-context technology (cold loads only) at the price of more
+total fabric area (each fabric sized for its own largest context); the
+single fabric has the smallest area and the most reconfiguration.
+"""
+
+import pytest
+
+from repro.apps import (
+    JobRunner,
+    accelerator_gate_counts,
+    frame_interleaved_jobs,
+    golden_outputs,
+    make_baseline_netlist,
+    make_multi_fabric_netlist,
+    make_reconfigurable_netlist,
+)
+from repro.dse import format_table
+from repro.kernel import Simulator
+from repro.tech import ASIC, MORPHOSYS
+
+ALL = ("fir", "fft", "viterbi", "xtea")
+
+
+def run_architecture(kind, n_frames=2):
+    jobs = frame_interleaved_jobs(ALL, n_frames, seed=7)
+    gates = accelerator_gate_counts(ALL)
+    if kind == "dedicated":
+        netlist, info = make_baseline_netlist(ALL)
+        drcf_names = []
+        area = sum(gates.values()) * ASIC.area_per_gate_um2
+    elif kind == "one fabric":
+        netlist, info = make_reconfigurable_netlist(ALL, tech=MORPHOSYS)
+        drcf_names = ["drcf1"]
+        area = max(gates.values()) * MORPHOSYS.area_per_gate_um2
+    else:  # two fabrics
+        netlist, info = make_multi_fabric_netlist(
+            {"fab_a": (("fir", "fft"), MORPHOSYS), "fab_b": (("viterbi", "xtea"), MORPHOSYS)}
+        )
+        drcf_names = ["fab_a", "fab_b"]
+        area = (
+            max(gates["fir"], gates["fft"]) + max(gates["viterbi"], gates["xtea"])
+        ) * MORPHOSYS.area_per_gate_um2
+    sim = Simulator()
+    design = netlist.elaborate(sim)
+    runner = JobRunner(info.accel_bases, info.buffer_words)
+    design["cpu"].run_task(runner.task(jobs), name="wl")
+    sim.run()
+    assert all(r.outputs == golden_outputs(r.spec) for r in runner.results)
+    misses = sum(design[d].stats.fetch_misses for d in drcf_names)
+    reconfig_us = sum(
+        design[d].stats.total_reconfig_time.to_us() for d in drcf_names
+    )
+    return {
+        "architecture": kind,
+        "fabrics": len(drcf_names),
+        "makespan_us": sim.now.to_us(),
+        "fetch_misses": misses,
+        "reconfig_us": reconfig_us,
+        "fabric_area_um2": area,
+    }
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [run_architecture(k) for k in ("dedicated", "one fabric", "two fabrics")]
+
+
+def test_a7_fabric_partitioning(benchmark, rows, save_table):
+    benchmark.pedantic(run_architecture, args=("two fabrics",), rounds=1, iterations=1)
+
+    dedicated, one, two = rows
+    # Two 2-context fabrics hold the whole working set: cold loads only.
+    assert two["fetch_misses"] == 4
+    # One 2-slot fabric hosting 4 alternating contexts thrashes: all miss.
+    assert one["fetch_misses"] == 8
+    assert two["reconfig_us"] < one["reconfig_us"]
+    assert two["makespan_us"] < one["makespan_us"]
+    # Area ordering: one shared fabric < two fabrics < (here) the two-fabric
+    # figure still under the dedicated total scaled by fabric density.
+    assert one["fabric_area_um2"] < two["fabric_area_um2"]
+    # And the latency ordering brackets the design space.
+    assert dedicated["makespan_us"] < two["makespan_us"] < one["makespan_us"]
+
+    save_table(
+        "a7_fabric_partitioning",
+        format_table(rows, title="A7: fabric-count trade-off (MorphoSys preset)"),
+    )

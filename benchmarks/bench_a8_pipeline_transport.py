@@ -1,0 +1,111 @@
+"""A8 — ablation: inter-stage data transport through a shared fabric.
+
+Pipelined applications move data between blocks.  When both blocks are
+contexts of one single-context DRCF, a DMA engine copying output buffer →
+input buffer alternates between the two address ranges, forcing a context
+switch *per burst chunk* — a system-level pathology that only shows up
+because this methodology models the switching and its memory traffic.
+
+Expected shape: on dedicated hardware the DMA burst length barely matters;
+on a single-context DRCF, halving the burst length multiplies context
+switches and reconfiguration time, and whole-buffer bursts (or a CPU copy
+staged entirely per context) are the remedy.
+"""
+
+import pytest
+
+from repro.apps import (
+    PipelineStage,
+    golden_pipeline,
+    make_baseline_netlist,
+    make_reconfigurable_netlist,
+    run_dma_mediated_pipeline,
+)
+from repro.bus import DmaController
+from repro.dse import format_table
+from repro.kernel import Simulator
+from repro.tech import VARICORE
+
+STAGES = [
+    PipelineStage("fir", param=2, coefs=[1 << 14, 1 << 13]),
+    PipelineStage("xtea", param=0, coefs=[1, 2, 3, 4]),
+]
+INPUTS = [37 * i - 500 for i in range(64)]
+
+
+def run_point(architecture, burst):
+    if architecture == "dedicated":
+        netlist, info = make_baseline_netlist(("fir", "xtea"))
+    else:
+        netlist, info = make_reconfigurable_netlist(("fir", "xtea"), tech=VARICORE)
+    netlist.add("dma", DmaController, master_of="system_bus")
+    sim = Simulator()
+    design = netlist.elaborate(sim)
+    result = {}
+
+    def task(cpu):
+        result["out"] = yield from run_dma_mediated_pipeline(
+            cpu, design["dma"], info.accel_bases, STAGES, INPUTS,
+            buffer_words=info.buffer_words, dma_burst_words=burst,
+        )
+
+    design["cpu"].run_task(task)
+    sim.run()
+    assert result["out"] == golden_pipeline(STAGES, INPUTS)
+    switches = (
+        design["drcf1"].stats.total_switches if architecture == "drcf" else 0
+    )
+    reconfig_us = (
+        design["drcf1"].stats.total_reconfig_time.to_us()
+        if architecture == "drcf"
+        else 0.0
+    )
+    return {
+        "architecture": architecture,
+        "dma_burst_words": burst,
+        "makespan_us": sim.now.to_us(),
+        "context_switches": switches,
+        "reconfig_us": reconfig_us,
+    }
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [
+        run_point(arch, burst)
+        for arch in ("dedicated", "drcf")
+        for burst in (8, 16, 64)
+    ]
+
+
+def test_a8_pipeline_transport(benchmark, rows, save_table):
+    benchmark.pedantic(run_point, args=("drcf", 64), rounds=1, iterations=1)
+
+    def pick(arch, burst):
+        for row in rows:
+            if row["architecture"] == arch and row["dma_burst_words"] == burst:
+                return row
+        raise KeyError((arch, burst))
+
+    # Dedicated hardware: burst length is a second-order effect.
+    d8, d64 = pick("dedicated", 8), pick("dedicated", 64)
+    assert d8["makespan_us"] < d64["makespan_us"] * 1.5
+
+    # DRCF: each halving of the burst multiplies the inter-context
+    # switches, and reconfiguration time follows.
+    r8, r16, r64 = (pick("drcf", b) for b in (8, 16, 64))
+    assert r8["context_switches"] > r16["context_switches"] > r64["context_switches"]
+    assert r8["reconfig_us"] > r16["reconfig_us"] > r64["reconfig_us"]
+    assert r8["makespan_us"] > r64["makespan_us"] * 2
+
+    # Whole-buffer bursts reduce the copy to the minimum 2 switches plus
+    # the pipeline's own stage switches.
+    assert r64["context_switches"] <= 4
+
+    save_table(
+        "a8_pipeline_transport",
+        format_table(
+            rows,
+            title="A8: DMA burst length vs context thrash (2-stage pipeline)",
+        ),
+    )

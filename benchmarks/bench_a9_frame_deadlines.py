@@ -1,0 +1,109 @@
+"""A9 — ablation: sustainable frame rates per technology.
+
+Frame-structured workloads (the paper's motivating domain) impose a
+deadline: each frame must finish before the next arrives.  This bench
+sweeps the frame period across architectures and reports the deadline
+miss rate — the system-level answer to "which technology sustains this
+standard's frame rate?".
+
+Expected shape: dedicated hardware sustains every swept period; the
+coarse-grain multi-context fabric sustains moderate periods; the
+fine-grain single-context FPGA misses everything until the period exceeds
+its per-frame reconfiguration cost, with the backlog growing monotonically
+below that point.
+"""
+
+import pytest
+
+from repro.apps import (
+    FrameSource,
+    RealTimeReport,
+    frame_consumer_task,
+    frame_interleaved_jobs,
+    make_baseline_netlist,
+    make_reconfigurable_netlist,
+)
+from repro.dse import format_table
+from repro.kernel import Simulator, us
+from repro.tech import MORPHOSYS, VARICORE
+
+ACCELS = ("fir", "xtea")
+N_FRAMES = 6
+PERIODS_US = [10, 40, 400, 2000]
+
+
+def run_point(arch, period_us):
+    if arch == "dedicated":
+        netlist, info = make_baseline_netlist(ACCELS)
+    elif arch == "morphosys":
+        netlist, info = make_reconfigurable_netlist(ACCELS, tech=MORPHOSYS)
+    else:
+        netlist, info = make_reconfigurable_netlist(ACCELS, tech=VARICORE)
+    sim = Simulator()
+    design = netlist.elaborate(sim)
+
+    def make_frame(index):
+        return frame_interleaved_jobs(ACCELS, 1, seed=100 + index)
+
+    source = FrameSource(
+        "frames", parent=design.top, period=us(period_us),
+        n_frames=N_FRAMES, make_frame=make_frame,
+    )
+    records = []
+    design["cpu"].run_task(
+        frame_consumer_task(source, info.accel_bases, records,
+                            buffer_words=info.buffer_words)
+    )
+    sim.run()
+    report = RealTimeReport(deadline_ns=period_us * 1e3, records=records)
+    return {
+        "architecture": arch,
+        "period_us": period_us,
+        "miss_rate": report.miss_rate,
+        "mean_latency_us": report.mean_latency_ns / 1e3,
+        "backlog_grows": report.backlog_grows(),
+    }
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [
+        run_point(arch, period)
+        for arch in ("dedicated", "morphosys", "varicore")
+        for period in PERIODS_US
+    ]
+
+
+def test_a9_frame_deadlines(benchmark, rows, save_table):
+    benchmark.pedantic(run_point, args=("morphosys", 100), rounds=2, iterations=1)
+
+    def pick(arch, period):
+        for row in rows:
+            if row["architecture"] == arch and row["period_us"] == period:
+                return row
+        raise KeyError((arch, period))
+
+    # Dedicated hardware sustains every swept period.
+    for period in PERIODS_US:
+        assert pick("dedicated", period)["miss_rate"] == 0.0
+
+    # Miss rates are monotonically non-increasing in the period for every
+    # architecture (longer deadlines can only help).
+    for arch in ("dedicated", "morphosys", "varicore"):
+        rates = [pick(arch, p)["miss_rate"] for p in PERIODS_US]
+        assert rates == sorted(rates, reverse=True)
+
+    # The sustainable-rate crossovers: the multi-context fabric (both
+    # contexts resident after frame 0, ~16.5 us/frame) fails only the
+    # 10 us period; the single-context fabric (two ~200 us switches per
+    # frame) needs a period past ~400 us.
+    assert pick("morphosys", 10)["miss_rate"] > 0.0
+    assert pick("morphosys", 40)["miss_rate"] == 0.0
+    assert pick("varicore", 40)["miss_rate"] == 1.0
+    assert pick("varicore", 40)["backlog_grows"]
+    assert pick("varicore", 400)["miss_rate"] == 0.0
+
+    save_table(
+        "a9_frame_deadlines",
+        format_table(rows, title="A9: deadline miss rate vs frame period"),
+    )

@@ -1,0 +1,70 @@
+"""E2 — Figure 2: flexibility vs implementation efficiency.
+
+Regenerates the trade-off chart as a table: the five architecture classes
+with their MOPS/mW bands and flexibility ordinals, and the modeled
+efficiency of each Chapter 3 technology preset placed into its class.
+
+Expected shape: efficiency ordering GPP < embedded < DSP/ASIP <
+reconfigurable < ASIC with the published factor-of-100–1000 span, and the
+flexibility ordering exactly reversed.
+"""
+
+import pytest
+
+from repro.dse import format_table
+from repro.tech import (
+    ASIC,
+    MORPHOSYS,
+    VARICORE,
+    VIRTEX2PRO,
+    efficiency_span_factor,
+    efficiency_table,
+    estimate_efficiency,
+    instruction_processor_efficiency,
+)
+
+PRESETS = [VIRTEX2PRO, VARICORE, MORPHOSYS, ASIC]
+
+
+def build_rows():
+    rows = []
+    for entry in efficiency_table(PRESETS):
+        low, high = entry["band_mops_per_mw"]
+        modeled = ", ".join(
+            f"{name}={value:.0f}" for name, value in sorted(entry["modeled"].items())
+        )
+        rows.append(
+            {
+                "class": entry["label"],
+                "flexibility": entry["flexibility"],
+                "style": entry["computation_style"],
+                "band_mops_per_mw": f"{low:g}-{high:g}",
+                "modeled_mops_per_mw": modeled or "-",
+            }
+        )
+    return rows
+
+
+def test_e2_figure2_bands(benchmark, save_table):
+    rows = benchmark.pedantic(build_rows, rounds=5, iterations=1)
+
+    # Flexibility strictly decreases down the chart while efficiency bands
+    # strictly increase — the axis trade-off of Figure 2.
+    flex = [row["flexibility"] for row in rows]
+    assert flex == [5, 4, 3, 2, 1]
+
+    # The published factor between processors and dedicated hardware.
+    assert efficiency_span_factor() >= 100
+
+    # Modeled presets respect the ordering: every reconfigurable preset
+    # beats the instruction-processor bands, ASIC beats them all.
+    dsp = instruction_processor_efficiency("dsp_asip")
+    asic_value = estimate_efficiency(ASIC)
+    for tech in (VIRTEX2PRO, VARICORE, MORPHOSYS):
+        value = estimate_efficiency(tech)
+        assert dsp < value < asic_value
+
+    save_table(
+        "e2_efficiency_bands",
+        format_table(rows, title="E2: Figure 2 flexibility/efficiency bands"),
+    )

@@ -1,0 +1,116 @@
+"""E6 — Section 5.5 / Chapter 3: the technology parameter sweep.
+
+The paper's thesis: technology effects cannot be generalized, only
+parameterized — so the same application is swept over the Chapter 3
+presets and two workload localities, regenerating the comparison table
+and locating the crossovers.
+
+Expected shape (DESIGN.md): MorphoSys-style multi-context fabrics come
+within a small factor of dedicated hardware; fine-grain single-context
+FPGAs are reconfiguration-dominated when contexts alternate per
+invocation and recover most of it when invocations batch; the crossover
+between the ref-technologies falls where switch rate, not compute,
+dominates.
+"""
+
+import pytest
+
+from repro.dse import (
+    Explorer,
+    ParameterSpace,
+    crossover_point,
+    evaluate_architecture,
+    format_points,
+    pareto_front,
+)
+
+TECHS = ["asic", "virtex2pro", "varicore", "morphosys"]
+PARAMS = ("tech", "workload")
+METRICS = (
+    "makespan_us",
+    "switches",
+    "reconfig_time_us",
+    "reconfig_overhead_fraction",
+    "bus_config_words",
+    "area_um2",
+)
+
+
+def run_sweep():
+    space = (
+        ParameterSpace()
+        .add_axis("tech", TECHS)
+        .add_axis("workload", ["interleaved", "batched"])
+        .add_axis("n_frames", [2])
+    )
+    return Explorer(evaluate_architecture).run(space)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_sweep()
+
+
+def metric(points, tech, workload, key):
+    for p in points:
+        if p.params["tech"] == tech and p.params["workload"] == workload:
+            return p.metrics[key]
+    raise KeyError((tech, workload))
+
+
+def test_e6_technology_sweep(benchmark, points, save_table):
+    benchmark.pedantic(
+        lambda: evaluate_architecture({"tech": "morphosys", "n_frames": 2}),
+        rounds=2,
+        iterations=1,
+    )
+
+    # Who wins on the switch-heavy workload: dedicated < coarse
+    # multi-context < medium < fine-grain single-context.
+    expected_order = ["asic", "morphosys", "varicore", "virtex2pro"]
+    order = [metric(points, t, "interleaved", "makespan_us") for t in expected_order]
+    assert order == sorted(order)
+
+    # By roughly what factor: fine-grain pays orders of magnitude, coarse
+    # stays within ~2 decades of ASIC on this switch-per-call workload.
+    asic = metric(points, "asic", "interleaved", "makespan_us")
+    assert metric(points, "virtex2pro", "interleaved", "makespan_us") > 100 * asic
+    assert metric(points, "morphosys", "interleaved", "makespan_us") < 100 * asic
+
+    # Batching halves the switches and cuts reconfiguration time ~2x for
+    # every reconfigurable preset.
+    for tech in TECHS[1:]:
+        inter = metric(points, tech, "interleaved", "reconfig_time_us")
+        batch = metric(points, tech, "batched", "reconfig_time_us")
+        assert batch == pytest.approx(inter / 2, rel=0.05)
+        assert metric(points, tech, "batched", "switches") == 4
+        assert metric(points, tech, "interleaved", "switches") == 8
+
+    # Overhead fraction ordering mirrors configuration bandwidth.
+    fractions = [
+        metric(points, t, "interleaved", "reconfig_overhead_fraction")
+        for t in ("morphosys", "varicore", "virtex2pro")
+    ]
+    assert fractions == sorted(fractions)
+
+    # Crossover bookkeeping: moving from interleaved to batched, varicore's
+    # makespan falls below morphosys-interleaved? Record both curves.
+    analysis = crossover_point(
+        points, axis="workload", metric="makespan_us",
+        series_key="tech", series_a="morphosys", series_b="asic",
+    )
+    assert analysis["crossover"] is not None  # morphosys never beats ASIC
+
+    front = pareto_front(
+        points,
+        [("makespan_us", "min"), ("area_um2", "min"), ("flexible", "max")],
+    )
+    front_names = {(p.params["tech"], p.params["workload"]) for p in front}
+    assert ("morphosys", "batched") in front_names  # flexible winner
+
+    save_table(
+        "e6_technology_sweep",
+        format_points(points, PARAMS, METRICS, title="E6: technology sweep")
+        + "\n\nPareto front (latency/area/flexibility): "
+        + ", ".join(f"{t}/{w}" for t, w in sorted(front_names)),
+    )

@@ -1,0 +1,81 @@
+"""E8 — Section 4 critique of ref [8]: unmodeled configuration traffic.
+
+The OCAPI-XL-style baseline models the context-switch *delay* but not the
+memory traffic.  This bench runs both models under increasing background
+bus load and regenerates the divergence series.
+
+Expected shape: the ref-[8] model underestimates execution time, its error
+grows monotonically with bus contention, and it reports zero configuration
+words while the full model's config traffic also slows the *other* bus
+masters — the coupling a traffic-less model cannot express.
+"""
+
+import pytest
+
+from repro.dse import Explorer, ParameterSpace, evaluate_architecture, format_table
+
+#: Background generator mean gap in bus cycles; smaller = heavier load.
+LOADS = [("none", None), ("light", 100), ("heavy", 5)]
+
+
+def run_pair(gap):
+    base = {
+        "tech": "varicore",
+        "accels": ("fir", "fft"),
+        "n_frames": 2,
+        "workload": "interleaved",
+    }
+    if gap is not None:
+        base["background_gap_cycles"] = gap
+    full = evaluate_architecture(dict(base))
+    ref8 = evaluate_architecture(dict(base, baseline_model="ref8"))
+    return full, ref8
+
+
+def build_rows():
+    rows = []
+    for label, gap in LOADS:
+        full, ref8 = run_pair(gap)
+        error = (full["makespan_us"] - ref8["makespan_us"]) / full["makespan_us"]
+        rows.append(
+            {
+                "background_load": label,
+                "full_makespan_us": full["makespan_us"],
+                "ref8_makespan_us": ref8["makespan_us"],
+                "underestimate": error,
+                "full_config_words": full["bus_config_words"],
+                "ref8_config_words": ref8["bus_config_words"],
+                "full_bus_util": full["bus_utilization"],
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return build_rows()
+
+
+def test_e8_ref8_divergence(benchmark, rows, save_table):
+    benchmark.pedantic(run_pair, args=(None,), rounds=1, iterations=1)
+
+    # The baseline generates no configuration traffic at all (the quoted
+    # limitation), while the full model does.
+    for row in rows:
+        assert row["ref8_config_words"] == 0
+        assert row["full_config_words"] > 0
+        # And it always underestimates.
+        assert row["ref8_makespan_us"] < row["full_makespan_us"]
+
+    # The error grows monotonically with background load.
+    errors = [row["underestimate"] for row in rows]
+    assert errors == sorted(errors)
+    assert errors[-1] > errors[0]
+
+    save_table(
+        "e8_ref8_baseline",
+        format_table(
+            rows,
+            title="E8: full traffic model vs ref-[8]-style (delay-only) model",
+        ),
+    )

@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates the table/series for one paper artifact (see
+DESIGN.md's experiment index), asserts the expected *shape* (orderings,
+crossovers, conditions), prints the table, and archives it under
+``benchmarks/results/`` so the regenerated artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _save_table(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture
+def save_table():
+    """Fixture: ``save_table(name, text)`` prints and archives a table."""
+    return _save_table

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Design-space exploration across reconfigurable technologies.
+
+The point of the paper's methodology: "true design space exploration at the
+system-level, without the need to map the design first to an actual
+technology implementation."  This sweep evaluates the same application on
+the Chapter 3 technology presets and both workload localities, then prints
+the metric table and the latency/area Pareto front.
+
+Run:  python examples/dse_sweep.py
+"""
+
+from repro.dse import (
+    Explorer,
+    ParameterSpace,
+    evaluate_architecture,
+    format_points,
+    pareto_front,
+)
+
+
+def main() -> None:
+    space = (
+        ParameterSpace()
+        .add_axis("tech", ["asic", "virtex2pro", "varicore", "morphosys"])
+        .add_axis("workload", ["interleaved", "batched"])
+        .add_axis("n_frames", [2])
+    )
+    print(f"sweeping {space.size} design points ...\n")
+    points = Explorer(evaluate_architecture).run(space)
+
+    print(
+        format_points(
+            points,
+            param_keys=("tech", "workload"),
+            metric_keys=(
+                "makespan_us",
+                "switches",
+                "reconfig_time_us",
+                "bus_config_words",
+                "area_um2",
+            ),
+            title="technology sweep (same application, same workload)",
+        )
+    )
+
+    front = pareto_front(
+        points,
+        [
+            ("makespan_us", "min"),
+            ("area_um2", "min"),
+            ("flexible", "max"),  # post-fabrication programmability (Figure 2's axis)
+        ],
+    )
+    print("\nlatency/area/flexibility Pareto front:")
+    for point in front:
+        flexible = "flexible" if point.metrics["flexible"] else "fixed"
+        print(
+            f"  {point.params['tech']:<11} {point.params['workload']:<12} "
+            f"makespan={point.metrics['makespan_us']:12.1f} us  "
+            f"area={point.metrics['area_um2']:>12.0f} um^2  {flexible}"
+        )
+    print(
+        "\nreading: dedicated ASIC wins latency and raw area but is fixed; among "
+        "flexible mappings the dynamic fabric needs only the largest context "
+        f"resident (saving "
+        f"{max(p.metrics['area_saving_vs_static_fabric'] for p in points if p.ok):.0%} "
+        "of fabric area vs keeping every block configured); fine-grain "
+        "single-context fabrics only pay off when invocations batch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Post-run analysis: metric aggregation and deadlock diagnosis."""
+
+from .deadlock import BlockedProcess, DeadlockReport, diagnose
+from .metrics import RunReport, collect_run_metrics, per_context_rows, speedup
+
+__all__ = [
+    "BlockedProcess",
+    "DeadlockReport",
+    "RunReport",
+    "collect_run_metrics",
+    "diagnose",
+    "per_context_rows",
+    "speedup",
+]

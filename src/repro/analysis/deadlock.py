@@ -1,0 +1,81 @@
+"""Deadlock diagnosis (paper Section 5.4, limitation 3).
+
+"The interface methods must be non-blocking or must support split
+transactions if the context memory bus is the same as the interface bus of
+the components.  If this is not the case, a data transfer to a component in
+DRCF would block the bus until the transfer is completed and the DRCF could
+not load a new context, since the bus is already blocked.  This results in
+deadlock of the bus."
+
+After a run ends by starvation, :func:`diagnose` inspects the kernel's
+blocked processes and the bus arbiter's ownership/wait queues to decide
+whether the system deadlocked and to reconstruct the wait-for chain for the
+report — experiment E7 reproduces exactly the paper's condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..bus import Bus
+from ..kernel import Simulator
+
+
+@dataclass
+class BlockedProcess:
+    """One process stuck at starvation time."""
+
+    name: str
+    waiting_on: str
+
+
+@dataclass
+class DeadlockReport:
+    """Outcome of a deadlock diagnosis."""
+
+    deadlocked: bool
+    blocked: List[BlockedProcess] = field(default_factory=list)
+    chains: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        if not self.deadlocked:
+            return "no deadlock: simulation completed without stuck processes"
+        lines = ["DEADLOCK detected:"]
+        for item in self.blocked:
+            lines.append(f"  process {item.name} waiting on {item.waiting_on}")
+        for chain in self.chains:
+            lines.append(f"  wait-for: {chain}")
+        return "\n".join(lines)
+
+
+def diagnose(sim: Simulator, buses: Sequence[Bus] = ()) -> DeadlockReport:
+    """Inspect a starved simulation for deadlock.
+
+    A process blocked on a pure timeout is merely early termination of the
+    run; a process waiting on an event with no pending timed activity is
+    permanently stuck.  When the supplied buses' arbiters are held while
+    other requesters queue, the ownership edge is rendered as a wait-for
+    chain (``waiter -> owner``) — the signature of the Section 5.4 bus
+    deadlock is the DRCF queued behind the very master whose transfer it
+    is servicing.
+    """
+    blocked: List[BlockedProcess] = []
+    for process in sim.blocked_processes():
+        if process.daemon:
+            continue  # server loops are expected to wait forever
+        description = process.wait_description or "?"
+        if description.startswith("timeout"):
+            continue  # would have resumed had the run continued
+        blocked.append(BlockedProcess(name=process.name, waiting_on=description))
+    chains: List[str] = []
+    for bus in buses:
+        arbiter = bus.arbiter
+        if arbiter.busy and arbiter.waiters:
+            for waiter in arbiter.waiters:
+                chains.append(
+                    f"{waiter} -> {arbiter.owner} (bus {bus.full_name} held)"
+                )
+    deadlocked = bool(blocked) and sim.pending_timed_count() == 0
+    return DeadlockReport(deadlocked=deadlocked, blocked=blocked, chains=chains)

@@ -1,0 +1,82 @@
+"""Application layer: accelerator IP, SoC templates and workloads.
+
+Everything needed to build and drive the Figure 1 architectures: the
+accelerator library (:mod:`~repro.apps.accelerators`), the software driver
+protocol (:mod:`~repro.apps.driver`), the baseline/reconfigurable SoC
+netlists (:mod:`~repro.apps.soc`) and the frame-structured workload
+generators (:mod:`~repro.apps.workloads`).
+"""
+
+from .driver import (
+    DEFAULT_CHUNK_WORDS,
+    JobResult,
+    JobRunner,
+    JobSpec,
+    run_accelerator_job,
+)
+from .pipeline import (
+    PipelineStage,
+    golden_pipeline,
+    run_cpu_mediated_pipeline,
+    run_dma_mediated_pipeline,
+)
+from .realtime import (
+    FrameRecord,
+    FrameSource,
+    RealTimeReport,
+    frame_consumer_task,
+)
+from .soc import (
+    ACCEL_BASE,
+    ACCEL_STRIDE,
+    ACCELERATOR_CLASSES,
+    CFG_BASE,
+    MEM_BASE,
+    SocInfo,
+    accelerator_gate_counts,
+    architecture_area_um2,
+    make_baseline_netlist,
+    make_multi_fabric_netlist,
+    make_reconfigurable_netlist,
+)
+from .workloads import (
+    DEFAULT_SIZES,
+    batched_jobs,
+    frame_interleaved_jobs,
+    golden_outputs,
+    random_mix_jobs,
+    switch_count_lower_bound,
+)
+
+__all__ = [
+    "ACCEL_BASE",
+    "ACCEL_STRIDE",
+    "ACCELERATOR_CLASSES",
+    "CFG_BASE",
+    "DEFAULT_CHUNK_WORDS",
+    "DEFAULT_SIZES",
+    "FrameRecord",
+    "FrameSource",
+    "JobResult",
+    "JobRunner",
+    "JobSpec",
+    "MEM_BASE",
+    "PipelineStage",
+    "RealTimeReport",
+    "SocInfo",
+    "accelerator_gate_counts",
+    "architecture_area_um2",
+    "batched_jobs",
+    "frame_consumer_task",
+    "frame_interleaved_jobs",
+    "golden_outputs",
+    "golden_pipeline",
+    "make_baseline_netlist",
+    "make_multi_fabric_netlist",
+    "make_reconfigurable_netlist",
+    "random_mix_jobs",
+    "run_accelerator_job",
+    "run_cpu_mediated_pipeline",
+    "run_dma_mediated_pipeline",
+    "switch_count_lower_bound",
+]

@@ -1,0 +1,92 @@
+"""Accelerator IP library.
+
+Six functional, cycle-modelled bus-slave accelerators spanning the paper's
+motivating domains (wireless baseband, media, security, linear algebra),
+each exposing its golden function for reuse as executable specification:
+
+* :class:`FirAccelerator` / :func:`fir_filter`
+* :class:`FftAccelerator` / :func:`fft_fixed`
+* :class:`DctAccelerator` / :func:`dct_blocks`
+* :class:`ViterbiAccelerator` / :func:`viterbi_decode`
+* :class:`CryptoAccelerator` / :func:`xtea_process`
+* :class:`MatMulAccelerator` / :func:`matmul_int`
+"""
+
+from .base import (
+    CMD_RESET,
+    CMD_START,
+    INBUF_OFFSET,
+    N_COEFS,
+    REG_COEF_BASE,
+    REG_CTRL,
+    REG_JOBSIZE,
+    REG_PARAM,
+    REG_STATUS,
+    STATUS_BUSY,
+    STATUS_DONE,
+    Accelerator,
+    from_words,
+    to_words,
+)
+from .crypto import (
+    CryptoAccelerator,
+    xtea_decrypt_block,
+    xtea_encrypt_block,
+    xtea_process,
+)
+from .dct import DctAccelerator, dct_1d, dct_block, dct_blocks
+from .fft import FftAccelerator, bit_reverse_permute, fft_fixed
+from .fir import FirAccelerator, fir_filter
+from .matmul import MatMulAccelerator, matmul_int
+from .streaming import (
+    REG_DST,
+    REG_SRC,
+    StreamingAccelerator,
+    StreamingCryptoAccelerator,
+    StreamingFirAccelerator,
+)
+from .viterbi import (
+    ViterbiAccelerator,
+    convolutional_encode,
+    viterbi_decode,
+)
+
+__all__ = [
+    "Accelerator",
+    "CMD_RESET",
+    "CMD_START",
+    "CryptoAccelerator",
+    "DctAccelerator",
+    "FftAccelerator",
+    "FirAccelerator",
+    "INBUF_OFFSET",
+    "MatMulAccelerator",
+    "N_COEFS",
+    "REG_COEF_BASE",
+    "REG_CTRL",
+    "REG_JOBSIZE",
+    "REG_PARAM",
+    "REG_DST",
+    "REG_SRC",
+    "REG_STATUS",
+    "STATUS_BUSY",
+    "STATUS_DONE",
+    "StreamingAccelerator",
+    "StreamingCryptoAccelerator",
+    "StreamingFirAccelerator",
+    "ViterbiAccelerator",
+    "bit_reverse_permute",
+    "convolutional_encode",
+    "dct_1d",
+    "dct_block",
+    "dct_blocks",
+    "fft_fixed",
+    "fir_filter",
+    "from_words",
+    "matmul_int",
+    "to_words",
+    "viterbi_decode",
+    "xtea_decrypt_block",
+    "xtea_encrypt_block",
+    "xtea_process",
+]

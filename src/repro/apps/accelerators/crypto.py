@@ -1,0 +1,75 @@
+"""Block-cipher accelerator (XTEA).
+
+The field-upgradeable crypto block from the paper's motivation: ciphers are
+exactly the functionality equipment makers swap via firmware when standards
+migrate.  XTEA (64-bit blocks, 128-bit key, 32 rounds) is implemented
+bit-exactly on 32-bit words; the key lives in COEF[0..3].  PARAM selects
+encrypt (0) or decrypt (1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .base import Accelerator
+
+_MASK = 0xFFFFFFFF
+_DELTA = 0x9E3779B9
+N_ROUNDS = 32
+
+
+def xtea_encrypt_block(v0: int, v1: int, key: Sequence[int]) -> Tuple[int, int]:
+    """Encrypt one 64-bit block (two 32-bit words) with a 4-word key."""
+    v0 &= _MASK
+    v1 &= _MASK
+    total = 0
+    for _ in range(N_ROUNDS):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + key[total & 3]))) & _MASK
+        total = (total + _DELTA) & _MASK
+        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + key[(total >> 11) & 3]))) & _MASK
+    return v0, v1
+
+
+def xtea_decrypt_block(v0: int, v1: int, key: Sequence[int]) -> Tuple[int, int]:
+    """Inverse of :func:`xtea_encrypt_block`."""
+    v0 &= _MASK
+    v1 &= _MASK
+    total = (_DELTA * N_ROUNDS) & _MASK
+    for _ in range(N_ROUNDS):
+        v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + key[(total >> 11) & 3]))) & _MASK
+        total = (total - _DELTA) & _MASK
+        v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + key[total & 3]))) & _MASK
+    return v0, v1
+
+
+def xtea_process(words: Sequence[int], key: Sequence[int], decrypt: bool = False) -> List[int]:
+    """Encrypt/decrypt an even-length word sequence block by block."""
+    if len(words) % 2:
+        raise ValueError("XTEA needs an even number of words")
+    if len(key) < 4:
+        raise ValueError("XTEA needs a 4-word key")
+    op = xtea_decrypt_block if decrypt else xtea_encrypt_block
+    out: List[int] = []
+    for i in range(0, len(words), 2):
+        v0, v1 = op(words[i], words[i + 1], key)
+        out.append(v0)
+        out.append(v1)
+    return out
+
+
+class CryptoAccelerator(Accelerator):
+    """XTEA cipher over JOBSIZE words (PARAM: 0 = encrypt, 1 = decrypt).
+
+    Cycle model: one round per cycle, two half-rounds pipelined ⇒ 32
+    cycles per 64-bit block plus a 4-cycle key schedule.
+    """
+
+    DEFAULT_GATES = 8_000
+    ALGORITHM = "xtea"
+
+    def compute(self, inputs: List[int], param: int, coefs: List[int]) -> List[int]:
+        key = [c & _MASK for c in coefs[:4]]
+        return xtea_process([w & _MASK for w in inputs], key, decrypt=bool(param))
+
+    def job_cycles(self, jobsize: int, param: int) -> int:
+        return (jobsize // 2) * N_ROUNDS + 4

@@ -1,0 +1,96 @@
+"""Fixed-point radix-2 FFT accelerator.
+
+OFDM demodulation workhorse.  Data is interleaved complex
+``[re0, im0, re1, im1, ...]``; PARAM is the transform length N (a power of
+two), so JOBSIZE is ``2·N`` words.  The implementation is a bit-exact
+integer decimation-in-time radix-2 FFT with Q14 twiddles and a one-bit
+right-shift per stage (block floating point style), so the executable
+specification and any mapped model agree word for word.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ...kernel import BitVector
+from .base import Accelerator
+
+_TWIDDLE_Q = 14
+
+
+def _twiddles(n: int) -> List[Tuple[int, int]]:
+    """Q14 twiddle factors ``W_n^k = exp(-2πik/n)`` for ``k < n/2``."""
+    scale = 1 << _TWIDDLE_Q
+    out = []
+    for k in range(n // 2):
+        angle = -2.0 * math.pi * k / n
+        out.append((round(math.cos(angle) * scale), round(math.sin(angle) * scale)))
+    return out
+
+
+def bit_reverse_permute(values: Sequence, n_bits: int) -> List:
+    """Reorder ``values`` by bit-reversed index (radix-2 input ordering)."""
+    out = list(values)
+    for i in range(len(values)):
+        j = BitVector(i, n_bits).reversed_bits().unsigned
+        if j > i:
+            out[i], out[j] = out[j], out[i]
+    return out
+
+
+def fft_fixed(interleaved: Sequence[int], n: int) -> List[int]:
+    """Bit-exact integer radix-2 DIT FFT.
+
+    ``interleaved`` holds N complex points as 2N signed words; the result
+    uses the same layout.  Each stage right-shifts by one to bound growth,
+    so the output is scaled by ``1/N`` relative to the exact DFT.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"FFT length must be a power of two >= 2, got {n}")
+    if len(interleaved) < 2 * n:
+        raise ValueError(f"need {2 * n} words for a {n}-point FFT")
+    n_bits = n.bit_length() - 1
+    re = [interleaved[2 * i] for i in range(n)]
+    im = [interleaved[2 * i + 1] for i in range(n)]
+    re = bit_reverse_permute(re, n_bits)
+    im = bit_reverse_permute(im, n_bits)
+    tw = _twiddles(n)
+    half = 1
+    while half < n:
+        step = n // (2 * half)
+        for start in range(0, n, 2 * half):
+            for k in range(half):
+                w_re, w_im = tw[k * step]
+                i, j = start + k, start + k + half
+                t_re = (re[j] * w_re - im[j] * w_im) >> _TWIDDLE_Q
+                t_im = (re[j] * w_im + im[j] * w_re) >> _TWIDDLE_Q
+                re[j] = (re[i] - t_re) >> 1
+                im[j] = (im[i] - t_im) >> 1
+                re[i] = (re[i] + t_re) >> 1
+                im[i] = (im[i] + t_im) >> 1
+        half *= 2
+    out: List[int] = []
+    for i in range(n):
+        out.append(re[i])
+        out.append(im[i])
+    return out
+
+
+class FftAccelerator(Accelerator):
+    """An N-point fixed-point FFT (N = PARAM, data interleaved re/im).
+
+    Cycle model: one radix-2 butterfly per cycle over ``(N/2)·log2 N``
+    butterflies, plus N cycles of buffer streaming.
+    """
+
+    DEFAULT_GATES = 25_000
+    ALGORITHM = "fft"
+
+    def compute(self, inputs: List[int], param: int, coefs: List[int]) -> List[int]:
+        return fft_fixed(inputs, param)
+
+    def job_cycles(self, jobsize: int, param: int) -> int:
+        n = max(2, param)
+        log2n = n.bit_length() - 1
+        return (n // 2) * log2n + n

@@ -1,0 +1,51 @@
+"""FIR filter accelerator (Q15 fixed point).
+
+The archetypal wireless-baseband block (channel/pulse-shaping filter).
+Coefficients are Q15 signed values in the COEF registers; PARAM holds the
+tap count.  The golden function is exposed as :func:`fir_filter` so tests
+and the executable specification share it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...kernel import saturate_signed
+from .base import Accelerator
+
+
+def fir_filter(samples: Sequence[int], coefs: Sequence[int]) -> List[int]:
+    """Direct-form FIR: ``y[n] = sat32(Σ_k coef[k]·x[n−k] >> 15)``.
+
+    Samples before the start of the sequence are zero (streaming reset).
+    """
+    out: List[int] = []
+    n_taps = len(coefs)
+    for n in range(len(samples)):
+        acc = 0
+        for k in range(n_taps):
+            if n - k >= 0:
+                acc += coefs[k] * samples[n - k]
+        out.append(saturate_signed(acc >> 15, 32))
+    return out
+
+
+class FirAccelerator(Accelerator):
+    """A ``PARAM``-tap Q15 FIR filter over ``JOBSIZE`` samples.
+
+    Cycle model: 4 parallel MAC units, one output per ``ceil(taps/4)``
+    cycles, plus an 8-cycle pipeline fill.
+    """
+
+    DEFAULT_GATES = 12_000
+    ALGORITHM = "fir"
+    MAC_UNITS = 4
+
+    def compute(self, inputs: List[int], param: int, coefs: List[int]) -> List[int]:
+        n_taps = max(1, min(param, len(coefs)))
+        return fir_filter(inputs, coefs[:n_taps])
+
+    def job_cycles(self, jobsize: int, param: int) -> int:
+        n_taps = max(1, param)
+        per_sample = -(-n_taps // self.MAC_UNITS)
+        return jobsize * per_sample + 8

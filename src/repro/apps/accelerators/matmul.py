@@ -1,0 +1,58 @@
+"""Integer matrix-multiply accelerator.
+
+A word-level, highly regular kernel — exactly the workload class the paper
+says MorphoSys-style coarse-grain arrays target ("inherent parallelism,
+high regularity, word-level granularity and computation intensive
+nature").  PARAM is the dimension N; the input buffer holds A then B
+row-major (2·N² words); the output is C = A·B (wrapping 32-bit signed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Accelerator
+
+_MASK = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def matmul_int(a: Sequence[int], b: Sequence[int], n: int) -> List[int]:
+    """Row-major N×N integer matrix product with 32-bit wrapping."""
+    if len(a) < n * n or len(b) < n * n:
+        raise ValueError(f"need {n * n} words per operand")
+    out: List[int] = []
+    for i in range(n):
+        row = a[i * n : (i + 1) * n]
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc += row[k] * b[k * n + j]
+            out.append(_wrap32(acc))
+    return out
+
+
+class MatMulAccelerator(Accelerator):
+    """N×N integer matrix multiply (N = PARAM, JOBSIZE = 2·N²).
+
+    Cycle model: a 4×4 MAC array retiring 16 multiply-accumulates per
+    cycle ⇒ ``N³/16`` compute cycles plus ``2·N²`` operand streaming.
+    """
+
+    DEFAULT_GATES = 22_000
+    ALGORITHM = "matmul"
+    MAC_ARRAY = 16
+
+    def compute(self, inputs: List[int], param: int, coefs: List[int]) -> List[int]:
+        n = param
+        if n <= 0 or len(inputs) < 2 * n * n:
+            raise ValueError(f"matmul needs 2*N^2={2 * n * n} input words, got {len(inputs)}")
+        return matmul_int(inputs[: n * n], inputs[n * n : 2 * n * n], n)
+
+    def job_cycles(self, jobsize: int, param: int) -> int:
+        n = max(1, param)
+        return -(-(n ** 3) // self.MAC_ARRAY) + 2 * n * n

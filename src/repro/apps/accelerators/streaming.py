@@ -1,0 +1,129 @@
+"""Streaming (bus-master) accelerators.
+
+The paper's ``hwacc`` has a master port (``mst_port``) bound through the
+generated DRCF (``hwa->mst_port(mst_port)``): accelerators that fetch
+their own operands from system memory instead of having the CPU push them.
+:class:`StreamingAccelerator` adds that mode to any accelerator algorithm:
+
+* two extra registers, SRC (``0x50``) and DST (``0x54``), hold system
+  memory addresses;
+* on START the engine master-reads JOBSIZE words from SRC, computes the
+  inherited golden function, and master-writes the results to DST (also
+  mirrored into the output buffer for register-style readback).
+
+Inside a DRCF the master traffic rides the fabric's port — visible on the
+bus as coming from the DRCF, exactly like the paper's generated binding.
+
+Concrete classes are built by mixing with an algorithm class, e.g.
+:class:`StreamingFirAccelerator`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...bus import BusMasterIf
+from ...kernel import Port, SimulationError, ZERO_TIME
+from .base import Accelerator, STATUS_BUSY, STATUS_DONE, _to_signed, _WORD_MASK
+from .fir import FirAccelerator
+from .crypto import CryptoAccelerator
+
+#: Extra register offsets (between COEF[15] at 0x4C and the 0x100 buffer).
+REG_SRC = 0x50
+REG_DST = 0x54
+
+#: Words per master-port burst while streaming.
+STREAM_BURST_WORDS = 32
+
+
+class StreamingAccelerator(Accelerator):
+    """Accelerator variant that fetches/stores its data as a bus master."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.mst_port = Port(self, BusMasterIf, name="mst_port")
+        self._src = 0
+        self._dst = 0
+        self.words_streamed = 0
+
+    # -- register map extension ---------------------------------------------
+    def _read_word(self, offset: int) -> int:
+        if offset == REG_SRC:
+            return self._src
+        if offset == REG_DST:
+            return self._dst
+        return super()._read_word(offset)
+
+    def _write_word(self, offset: int, word: int) -> None:
+        if offset == REG_SRC:
+            self._src = word
+        elif offset == REG_DST:
+            self._dst = word
+        else:
+            super()._write_word(offset, word)
+
+    # -- the streaming engine ---------------------------------------------------
+    def _engine(self):
+        label = self.full_name
+        while True:
+            yield self._start_event
+            start = self.sim.now
+            # Fetch operands from system memory (master reads).
+            data: List[int] = []
+            fetched = 0
+            while fetched < self._jobsize:
+                chunk = min(STREAM_BURST_WORDS, self._jobsize - fetched)
+                words = yield from self.mst_port.read(
+                    self._src + 4 * fetched, chunk, master=label, tags=["stream"]
+                )
+                data.extend(words)
+                fetched += chunk
+            self.words_streamed += fetched
+            inputs = [_to_signed(w) for w in data]
+            outputs = self.compute(
+                inputs, self._param, [_to_signed(c) for c in self._coefs]
+            )
+            if len(outputs) > self.buffer_words:
+                raise SimulationError(
+                    f"{self.full_name}: compute produced {len(outputs)} words, "
+                    f"buffer holds {self.buffer_words}"
+                )
+            duration = self.tech.block_compute_time(
+                self.job_cycles(self._jobsize, self._param)
+            )
+            if duration > ZERO_TIME:
+                yield duration
+            # Store results (master writes) and mirror into the out buffer.
+            raw = [w & _WORD_MASK for w in outputs]
+            for i, value in enumerate(raw):
+                self._outbuf[i] = value
+            stored = 0
+            while stored < len(raw):
+                chunk = raw[stored : stored + STREAM_BURST_WORDS]
+                yield from self.mst_port.write(
+                    self._dst + 4 * stored, chunk, master=label, tags=["stream"]
+                )
+                stored += len(chunk)
+            self.words_streamed += len(raw)
+            end = self.sim.now
+            self.jobs_done += 1
+            self.total_compute_time = self.total_compute_time + (end - start)
+            if self.compute_sink is not None:
+                self.compute_sink(start, end)
+            self.busy = False
+            self._status = STATUS_DONE
+            self.idle_event.notify()
+            if self.irq_sink is not None:
+                self.irq_sink.raise_irq(self.irq_source)
+
+
+class StreamingFirAccelerator(StreamingAccelerator, FirAccelerator):
+    """Master-mode FIR filter (operands streamed from system memory)."""
+
+    ALGORITHM = "fir-streaming"
+
+
+class StreamingCryptoAccelerator(StreamingAccelerator, CryptoAccelerator):
+    """Master-mode XTEA engine (in-memory encryption of a buffer)."""
+
+    ALGORITHM = "xtea-streaming"

@@ -1,0 +1,111 @@
+"""Hard-decision Viterbi decoder accelerator (K=7, rate 1/2).
+
+The convolutional decoder of IS-95/802.11a-era wireless standards, using
+the standard generator polynomials G0=171₈, G1=133₈ over 64 states.  Input
+words each carry one received symbol pair in bits [1:0]; output words carry
+one decoded bit each.  PARAM gives the number of information bits
+(``jobsize`` symbols are consumed, including the tail).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .base import Accelerator
+
+K = 7
+N_STATES = 1 << (K - 1)
+G0 = 0o171
+G1 = 0o133
+
+
+def _parity(x: int) -> int:
+    return bin(x).count("1") & 1
+
+
+def _encode_step(state: int, bit: int) -> Tuple[int, int]:
+    """One encoder step: (new_state, 2-bit output symbol)."""
+    reg = (bit << (K - 1)) | state
+    symbol = (_parity(reg & G0) << 1) | _parity(reg & G1)
+    return reg >> 1, symbol
+
+
+def convolutional_encode(bits: Sequence[int]) -> List[int]:
+    """Encode ``bits`` (plus an implicit K−1 zero tail) into symbol words."""
+    state = 0
+    symbols: List[int] = []
+    for bit in list(bits) + [0] * (K - 1):
+        state, symbol = _encode_step(state, bit & 1)
+        symbols.append(symbol)
+    return symbols
+
+
+# Precomputed trellis: for each (state, input bit): next state and symbol.
+_NEXT: List[List[int]] = [[0] * 2 for _ in range(N_STATES)]
+_SYM: List[List[int]] = [[0] * 2 for _ in range(N_STATES)]
+for _s in range(N_STATES):
+    for _b in range(2):
+        _ns, _sym = _encode_step(_s, _b)
+        _NEXT[_s][_b] = _ns
+        _SYM[_s][_b] = _sym
+
+
+def viterbi_decode(symbols: Sequence[int], n_bits: int) -> List[int]:
+    """Hard-decision Viterbi decode of ``symbols`` to ``n_bits`` bits.
+
+    Standard add-compare-select over the 64-state trellis, full traceback.
+    Requires ``len(symbols) >= n_bits + K - 1`` (tail included).
+    """
+    n_sym = n_bits + K - 1
+    if len(symbols) < n_sym:
+        raise ValueError(f"need {n_sym} symbols to decode {n_bits} bits")
+    inf = 1 << 30
+    metrics = [inf] * N_STATES
+    metrics[0] = 0
+    # survivors[t][state] = (prev_state, bit)
+    survivors: List[List[Tuple[int, int]]] = []
+    for t in range(n_sym):
+        rx = symbols[t] & 0x3
+        new_metrics = [inf] * N_STATES
+        column: List[Tuple[int, int]] = [(0, 0)] * N_STATES
+        for state in range(N_STATES):
+            metric = metrics[state]
+            if metric >= inf:
+                continue
+            for bit in range(2):
+                branch = _SYM[state][bit] ^ rx
+                cost = metric + ((branch >> 1) & 1) + (branch & 1)
+                nxt = _NEXT[state][bit]
+                if cost < new_metrics[nxt]:
+                    new_metrics[nxt] = cost
+                    column[nxt] = (state, bit)
+        metrics = new_metrics
+        survivors.append(column)
+    # Tail forces the encoder back to state 0.
+    state = 0
+    bits_rev: List[int] = []
+    for t in range(n_sym - 1, -1, -1):
+        prev, bit = survivors[t][state]
+        bits_rev.append(bit)
+        state = prev
+    decoded = bits_rev[::-1][:n_bits]
+    return decoded
+
+
+class ViterbiAccelerator(Accelerator):
+    """K=7 rate-1/2 hard-decision Viterbi decoder.
+
+    JOBSIZE = number of symbol words; PARAM = number of information bits.
+    Cycle model: 8 parallel ACS units over 64 states per symbol (8 cycles
+    per symbol) plus a one-cycle-per-bit traceback.
+    """
+
+    DEFAULT_GATES = 30_000
+    ALGORITHM = "viterbi"
+    ACS_UNITS = 8
+
+    def compute(self, inputs: List[int], param: int, coefs: List[int]) -> List[int]:
+        return viterbi_decode(inputs, param)
+
+    def job_cycles(self, jobsize: int, param: int) -> int:
+        return jobsize * (N_STATES // self.ACS_UNITS) + param

@@ -1,0 +1,176 @@
+"""Software driver for the accelerator register protocol.
+
+These are the software tasks the paper's flow runs on the CPU model: write
+coefficients and parameters, stream the input buffer over the bus, issue
+START, poll STATUS, and read back the output buffer.  The same driver works
+unchanged whether the target is a dedicated accelerator (Figure 1(a)) or a
+context inside a DRCF (Figure 1(b)) — that transparency is the point of the
+methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cpu import Processor
+from .accelerators import (
+    CMD_START,
+    INBUF_OFFSET,
+    REG_COEF_BASE,
+    REG_CTRL,
+    REG_JOBSIZE,
+    REG_PARAM,
+    REG_STATUS,
+    STATUS_DONE,
+    from_words,
+    to_words,
+)
+
+#: Default words per bus burst when streaming buffers.
+DEFAULT_CHUNK_WORDS = 32
+
+
+def run_accelerator_job(
+    cpu: Processor,
+    base: int,
+    inputs: Sequence[int],
+    *,
+    param: int = 0,
+    coefs: Optional[Sequence[int]] = None,
+    n_outputs: Optional[int] = None,
+    buffer_words: int = 256,
+    chunk_words: int = DEFAULT_CHUNK_WORDS,
+    poll_interval_cycles: int = 16,
+    irq: Optional[tuple] = None,
+):
+    """Drive one job on the accelerator at ``base`` (generator).
+
+    Returns the signed output words.  Raises if the job does not fit the
+    device's buffers.
+
+    Completion detection is STATUS polling by default.  Pass
+    ``irq=(controller, source)`` (an
+    :class:`~repro.bus.InterruptController` and the registered source
+    name) to sleep on the interrupt line instead — no poll reads on the
+    bus; the handler acknowledges the line over the bus.
+    """
+    if not inputs:
+        raise ValueError("job needs at least one input word")
+    if len(inputs) > buffer_words:
+        raise ValueError(
+            f"job of {len(inputs)} words exceeds buffer of {buffer_words}"
+        )
+    if coefs:
+        yield from cpu.write(base + REG_COEF_BASE, to_words(coefs))
+    yield from cpu.write(base + REG_JOBSIZE, len(inputs))
+    yield from cpu.write(base + REG_PARAM, param)
+    words = to_words(inputs)
+    inbuf = base + INBUF_OFFSET
+    for i in range(0, len(words), chunk_words):
+        chunk = words[i : i + chunk_words]
+        yield from cpu.write(inbuf + 4 * i, chunk)
+    yield from cpu.write(base + REG_CTRL, CMD_START)
+    if irq is not None:
+        controller, source = irq
+        line = controller.register_source(source)
+        if not controller.is_pending(source):
+            yield from cpu.wait_event(controller.line_event(source))
+        # Interrupt handler: acknowledge the line over the bus.
+        from ..bus.interrupt import REG_ACK
+
+        yield from cpu.write(controller.base + REG_ACK, 1 << line)
+    else:
+        yield from cpu.poll(
+            base + REG_STATUS, STATUS_DONE, STATUS_DONE, interval_cycles=poll_interval_cycles
+        )
+    count = n_outputs if n_outputs is not None else len(inputs)
+    outbuf = base + INBUF_OFFSET + buffer_words * 4
+    out_words: List[int] = []
+    for i in range(0, count, chunk_words):
+        n = min(chunk_words, count - i)
+        chunk = yield from cpu.read(outbuf + 4 * i, n)
+        out_words.extend(chunk)
+    return from_words(out_words)
+
+
+@dataclass
+class JobSpec:
+    """A declarative accelerator invocation (used by workload schedules)."""
+
+    accel: str
+    inputs: List[int]
+    param: int = 0
+    coefs: Optional[List[int]] = None
+    n_outputs: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.accel
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed :class:`JobSpec`."""
+
+    spec: JobSpec
+    outputs: List[int]
+    start_ns: float
+    end_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class JobRunner:
+    """Executes :class:`JobSpec` sequences on a CPU and collects results.
+
+    ``bases`` maps accelerator component names to bus base addresses (the
+    SoC template provides it); results land in :attr:`results` in issue
+    order.
+    """
+
+    def __init__(self, bases: Dict[str, int], buffer_words: int = 256) -> None:
+        self.bases = dict(bases)
+        self.buffer_words = buffer_words
+        self.results: List[JobResult] = []
+
+    def task(self, jobs: Sequence[JobSpec]):
+        """A CPU task running ``jobs`` back to back."""
+
+        def run_jobs(cpu: Processor):
+            for spec in jobs:
+                base = self.bases[spec.accel]
+                start = cpu.sim.now.to_ns()
+                outputs = yield from run_accelerator_job(
+                    cpu,
+                    base,
+                    spec.inputs,
+                    param=spec.param,
+                    coefs=spec.coefs,
+                    n_outputs=spec.n_outputs,
+                    buffer_words=self.buffer_words,
+                )
+                self.results.append(
+                    JobResult(
+                        spec=spec,
+                        outputs=outputs,
+                        start_ns=start,
+                        end_ns=cpu.sim.now.to_ns(),
+                    )
+                )
+
+        run_jobs.__name__ = "job_runner"
+        return run_jobs
+
+    @property
+    def total_latency_ns(self) -> float:
+        return sum(r.latency_ns for r in self.results)
+
+    def latency_by_accel(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for result in self.results:
+            out[result.spec.accel] = out.get(result.spec.accel, 0.0) + result.latency_ns
+        return out

@@ -1,0 +1,161 @@
+"""Accelerator pipelines: chaining jobs through multiple blocks.
+
+Frame processing rarely stops at one block — FIR output feeds the FFT,
+decoder output feeds the cipher.  Two data-movement styles are modelled:
+
+* :func:`run_cpu_mediated_pipeline` — software reads stage N's output
+  buffer and writes it into stage N+1's input buffer (two bus crossings
+  per word, CPU occupied);
+* :func:`run_dma_mediated_pipeline` — a DMA descriptor copies output
+  buffer → input buffer directly.
+
+The DMA variant exposes a modeling-visible pathology the methodology
+exists to catch: when both stages are *contexts of the same DRCF*, every
+DMA burst alternates between source and destination addresses, forcing a
+context switch **per burst chunk**.  Experiment A8 sweeps the burst length
+to show the thrash and its remedy (whole-buffer bursts or fabrics sized to
+keep both contexts resident).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bus import DmaController, DmaDescriptor
+from ..cpu import Processor
+from .accelerators import (
+    CMD_START,
+    INBUF_OFFSET,
+    REG_COEF_BASE,
+    REG_CTRL,
+    REG_JOBSIZE,
+    REG_PARAM,
+    REG_STATUS,
+    STATUS_DONE,
+    from_words,
+    to_words,
+)
+from .driver import DEFAULT_CHUNK_WORDS
+from .workloads import golden_outputs
+from .driver import JobSpec
+
+
+@dataclass
+class PipelineStage:
+    """One stage of an accelerator pipeline (inputs come from upstream)."""
+
+    accel: str
+    param: int = 0
+    coefs: Optional[List[int]] = None
+    #: Words produced per job; None = same as the stage's input length.
+    n_outputs: Optional[int] = None
+
+
+def _outbuf(base: int, buffer_words: int) -> int:
+    return base + INBUF_OFFSET + buffer_words * 4
+
+
+def _configure_and_start(cpu: Processor, base: int, n_inputs: int, stage: PipelineStage):
+    if stage.coefs:
+        yield from cpu.write(base + REG_COEF_BASE, to_words(stage.coefs))
+    yield from cpu.write(base + REG_JOBSIZE, n_inputs)
+    yield from cpu.write(base + REG_PARAM, stage.param)
+    yield from cpu.write(base + REG_CTRL, CMD_START)
+    yield from cpu.poll(base + REG_STATUS, STATUS_DONE, STATUS_DONE)
+
+
+def run_cpu_mediated_pipeline(
+    cpu: Processor,
+    bases: Dict[str, int],
+    stages: Sequence[PipelineStage],
+    inputs: Sequence[int],
+    *,
+    buffer_words: int = 256,
+    chunk_words: int = DEFAULT_CHUNK_WORDS,
+):
+    """Run ``stages`` with software moving the data (generator).
+
+    Returns the final stage's signed output words.
+    """
+    data = to_words(inputs)
+    for stage in stages:
+        base = bases[stage.accel]
+        for i in range(0, len(data), chunk_words):
+            yield from cpu.write(base + INBUF_OFFSET + 4 * i, data[i : i + chunk_words])
+        yield from _configure_and_start(cpu, base, len(data), stage)
+        count = stage.n_outputs if stage.n_outputs is not None else len(data)
+        out: List[int] = []
+        src = _outbuf(base, buffer_words)
+        for i in range(0, count, chunk_words):
+            n = min(chunk_words, count - i)
+            chunk = yield from cpu.read(src + 4 * i, n)
+            out.extend(chunk)
+        data = out
+    return from_words(data)
+
+
+def run_dma_mediated_pipeline(
+    cpu: Processor,
+    dma: DmaController,
+    bases: Dict[str, int],
+    stages: Sequence[PipelineStage],
+    inputs: Sequence[int],
+    *,
+    buffer_words: int = 256,
+    chunk_words: int = DEFAULT_CHUNK_WORDS,
+    dma_burst_words: int = DEFAULT_CHUNK_WORDS,
+):
+    """Run ``stages`` with DMA moving inter-stage data (generator).
+
+    The CPU loads only the first stage's input and reads only the last
+    stage's output; buffer-to-buffer copies go through ``dma``.
+    """
+    if not stages:
+        raise ValueError("pipeline needs at least one stage")
+    data = to_words(inputs)
+    first = bases[stages[0].accel]
+    for i in range(0, len(data), chunk_words):
+        yield from cpu.write(first + INBUF_OFFSET + 4 * i, data[i : i + chunk_words])
+    count = len(data)
+    for index, stage in enumerate(stages):
+        base = bases[stage.accel]
+        yield from _configure_and_start(cpu, base, count, stage)
+        count = stage.n_outputs if stage.n_outputs is not None else count
+        if index + 1 < len(stages):
+            nxt = bases[stages[index + 1].accel]
+            done = dma.submit(
+                DmaDescriptor(
+                    src=_outbuf(base, buffer_words),
+                    dst=nxt + INBUF_OFFSET,
+                    words=count,
+                    burst=dma_burst_words,
+                    tags=["pipeline"],
+                )
+            )
+            yield from cpu.wait_event(done)
+    last = bases[stages[-1].accel]
+    out: List[int] = []
+    src = _outbuf(last, buffer_words)
+    for i in range(0, count, chunk_words):
+        n = min(chunk_words, count - i)
+        chunk = yield from cpu.read(src + 4 * i, n)
+        out.extend(chunk)
+    return from_words(out)
+
+
+def golden_pipeline(stages: Sequence[PipelineStage], inputs: Sequence[int]) -> List[int]:
+    """Executable-specification result of the whole pipeline."""
+    data = list(inputs)
+    for stage in stages:
+        spec = JobSpec(
+            stage.accel,
+            data,
+            param=stage.param,
+            coefs=stage.coefs,
+            n_outputs=stage.n_outputs,
+        )
+        data = golden_outputs(spec)
+        if stage.n_outputs is not None:
+            data = data[: stage.n_outputs]
+    return data

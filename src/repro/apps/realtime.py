@@ -1,0 +1,155 @@
+"""Real-time frame processing: periodic release, deadlines, miss rates.
+
+The paper's motivating workloads are frame-structured (wireless baseband,
+media).  At system level the designer's question is *sustainable frame
+rate*: does the architecture finish each frame's block invocations before
+the next frame arrives?  A :class:`FrameSource` releases frames
+periodically into a queue; :func:`frame_consumer_task` drains it on a CPU;
+:class:`RealTimeReport` turns the per-frame latencies into deadline-miss
+statistics.  Experiment A9 sweeps the frame period across technologies to
+locate each preset's sustainable rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cpu import Processor
+from ..kernel import Fifo, Module, SimTime
+from .driver import JobSpec, run_accelerator_job
+
+
+@dataclass
+class FrameRecord:
+    """Timing of one processed frame."""
+
+    index: int
+    release_ns: float
+    completion_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.completion_ns - self.release_ns
+
+
+class FrameSource(Module):
+    """Releases one frame of jobs every ``period`` into a queue.
+
+    ``make_frame(index)`` returns the job list of frame ``index``; frames
+    are queued even when processing lags (the real-time backlog case).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent=None,
+        sim=None,
+        *,
+        period: SimTime,
+        n_frames: int,
+        make_frame: Callable[[int], List[JobSpec]],
+    ) -> None:
+        super().__init__(name, parent=parent, sim=sim)
+        if n_frames <= 0:
+            raise ValueError("need at least one frame")
+        self.period = period
+        self.n_frames = n_frames
+        self.make_frame = make_frame
+        self.queue: Fifo = Fifo(self.sim, capacity=None, name=f"{self.full_name}.q")
+        self.released = 0
+        self.add_thread(self._release, name="release")
+
+    def _release(self):
+        for index in range(self.n_frames):
+            self.queue.nb_put((index, self.sim.now.to_ns(), self.make_frame(index)))
+            self.released += 1
+            if index + 1 < self.n_frames:
+                yield self.period
+
+
+def frame_consumer_task(
+    source: FrameSource,
+    bases: Dict[str, int],
+    records: List[FrameRecord],
+    *,
+    buffer_words: int = 256,
+):
+    """CPU task draining the frame queue until all frames are processed."""
+
+    def task(cpu: Processor):
+        processed = 0
+        while processed < source.n_frames:
+            index, release_ns, jobs = yield from source.queue.get()
+            for spec in jobs:
+                yield from run_accelerator_job(
+                    cpu,
+                    bases[spec.accel],
+                    spec.inputs,
+                    param=spec.param,
+                    coefs=spec.coefs,
+                    n_outputs=spec.n_outputs,
+                    buffer_words=buffer_words,
+                )
+            records.append(
+                FrameRecord(
+                    index=index,
+                    release_ns=release_ns,
+                    completion_ns=cpu.sim.now.to_ns(),
+                )
+            )
+            processed += 1
+
+    task.__name__ = "frame_consumer"
+    return task
+
+
+@dataclass
+class RealTimeReport:
+    """Deadline statistics over a set of frame records."""
+
+    deadline_ns: float
+    records: List[FrameRecord] = field(default_factory=list)
+
+    @property
+    def frames(self) -> int:
+        return len(self.records)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for r in self.records if r.latency_ns > self.deadline_ns)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.frames if self.records else 0.0
+
+    @property
+    def max_latency_ns(self) -> float:
+        return max((r.latency_ns for r in self.records), default=0.0)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.latency_ns for r in self.records) / len(self.records)
+
+    def backlog_grows(self) -> bool:
+        """True if frame latency trends upward (unsustainable rate)."""
+        if len(self.records) < 4:
+            return False
+        half = len(self.records) // 2
+        first = sum(r.latency_ns for r in self.records[:half]) / half
+        second = sum(r.latency_ns for r in self.records[half:]) / (
+            len(self.records) - half
+        )
+        return second > 1.5 * first
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "frames": self.frames,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "mean_latency_us": self.mean_latency_ns / 1e3,
+            "max_latency_us": self.max_latency_ns / 1e3,
+            "backlog_grows": self.backlog_grows(),
+        }

@@ -1,0 +1,258 @@
+"""SoC architecture templates (paper Figure 1).
+
+:func:`make_baseline_netlist` builds the Figure 1(a) architecture — CPU,
+DMA, memory and a set of dedicated hardware accelerators on a shared bus.
+:func:`make_reconfigurable_netlist` applies the DRCF transformation to get
+the Figure 1(b) architecture: selected accelerators fold into a
+reconfigurable fabric whose bitstreams live in a configuration memory.
+
+Both return the netlist plus a :class:`SocInfo` carrying the address map,
+so the same workload drives either architecture unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bus import Bus, ConfigMemory, DmaController, Memory
+from ..core import Netlist, TransformReport, transform_to_drcf
+from ..core.policies import ReplacementPolicy
+from ..cpu import Processor
+from ..tech import ReconfigTechnology, VIRTEX2PRO
+from .accelerators import (
+    Accelerator,
+    CryptoAccelerator,
+    DctAccelerator,
+    FftAccelerator,
+    FirAccelerator,
+    MatMulAccelerator,
+    ViterbiAccelerator,
+)
+
+#: Accelerator classes by short name.
+ACCELERATOR_CLASSES: Dict[str, type] = {
+    "fir": FirAccelerator,
+    "fft": FftAccelerator,
+    "dct": DctAccelerator,
+    "viterbi": ViterbiAccelerator,
+    "xtea": CryptoAccelerator,
+    "matmul": MatMulAccelerator,
+}
+
+#: Default address map.
+MEM_BASE = 0x0000_0000
+ACCEL_BASE = 0x1000_0000
+ACCEL_STRIDE = 0x0001_0000
+CFG_BASE = 0x2000_0000
+
+
+@dataclass
+class SocInfo:
+    """Address map and parameters shared by a SoC template's consumers."""
+
+    accel_bases: Dict[str, int]
+    mem_base: int
+    cfg_base: int
+    buffer_words: int
+    bus_name: str = "system_bus"
+    cpu_name: str = "cpu"
+    config_memory_name: str = "cfgmem"
+    #: Filled by :func:`make_reconfigurable_netlist`.
+    drcf_name: Optional[str] = None
+    transform_report: Optional[TransformReport] = None
+
+
+def make_baseline_netlist(
+    accels: Sequence[str] = ("fir", "fft", "viterbi", "xtea"),
+    *,
+    name: str = "top",
+    bus_protocol: str = "split",
+    arbitration: str = "fifo",
+    bus_clock_hz: float = 100e6,
+    cpu_clock_hz: float = 200e6,
+    buffer_words: int = 256,
+    mem_size_words: int = 64 * 1024,
+    include_dma: bool = False,
+    include_config_memory: bool = True,
+    cfg_size_words: int = 4 * 1024 * 1024,
+    cfg_latency_cycles: int = 2,
+    accel_tech: Optional[ReconfigTechnology] = None,
+) -> Tuple[Netlist, SocInfo]:
+    """The Figure 1(a) SoC: dedicated accelerators on a shared bus.
+
+    The configuration memory is included by default (idle in the baseline)
+    so the transformed architecture differs *only* in the accelerator
+    mapping — a controlled comparison for experiment E1.
+    """
+    unknown = [a for a in accels if a not in ACCELERATOR_CLASSES]
+    if unknown:
+        raise KeyError(f"unknown accelerators {unknown}; known: {sorted(ACCELERATOR_CLASSES)}")
+    netlist = Netlist(name)
+    netlist.add(
+        "system_bus",
+        Bus,
+        clock_freq_hz=bus_clock_hz,
+        protocol=bus_protocol,
+        arbitration=arbitration,
+    )
+    netlist.add("cpu", Processor, master_of="system_bus", clock_freq_hz=cpu_clock_hz)
+    netlist.add(
+        "mem",
+        Memory,
+        slave_of="system_bus",
+        base=MEM_BASE,
+        size_words=mem_size_words,
+        clock_freq_hz=bus_clock_hz,
+    )
+    if include_dma:
+        netlist.add("dma", DmaController, master_of="system_bus")
+    bases: Dict[str, int] = {}
+    for index, short in enumerate(accels):
+        base = ACCEL_BASE + index * ACCEL_STRIDE
+        bases[short] = base
+        kwargs: Dict[str, object] = dict(base=base, buffer_words=buffer_words)
+        if accel_tech is not None:
+            kwargs["tech"] = accel_tech
+        netlist.add(short, ACCELERATOR_CLASSES[short], slave_of="system_bus", **kwargs)
+    if include_config_memory:
+        netlist.add(
+            "cfgmem",
+            ConfigMemory,
+            slave_of="system_bus",
+            base=CFG_BASE,
+            size_words=cfg_size_words,
+            latency_cycles=cfg_latency_cycles,
+            clock_freq_hz=bus_clock_hz,
+        )
+    info = SocInfo(
+        accel_bases=bases,
+        mem_base=MEM_BASE,
+        cfg_base=CFG_BASE,
+        buffer_words=buffer_words,
+    )
+    return netlist, info
+
+
+def make_reconfigurable_netlist(
+    accels: Sequence[str] = ("fir", "fft", "viterbi", "xtea"),
+    *,
+    tech: ReconfigTechnology = VIRTEX2PRO,
+    drcf_name: str = "drcf1",
+    static_accels: Sequence[str] = (),
+    policy: Optional[ReplacementPolicy] = None,
+    use_area_slots: bool = False,
+    fabric_capacity_gates: Optional[int] = None,
+    config_burst_words: int = 64,
+    dedicated_config_bus: bool = False,
+    config_bus_clock_hz: float = 100e6,
+    **baseline_kwargs,
+) -> Tuple[Netlist, SocInfo]:
+    """The Figure 1(b) SoC: ``accels`` folded into a DRCF.
+
+    ``static_accels`` stay as dedicated blocks (the mixed architecture of
+    Figure 1(b), which keeps some fixed accelerators alongside the
+    fabric).  With ``dedicated_config_bus`` the configuration memory and
+    the DRCF's master port move onto a private bus, removing configuration
+    traffic from the component interface bus (memory-organization study).
+    """
+    all_accels = list(accels) + [a for a in static_accels if a not in accels]
+    netlist, info = make_baseline_netlist(all_accels, **baseline_kwargs)
+    config_bus_name = None
+    if dedicated_config_bus:
+        # Move the configuration memory to a private bus.
+        cfg_spec = netlist.component("cfgmem")
+        cfg_spec.slave_of = "config_bus"
+        netlist.add(
+            "config_bus",
+            Bus,
+            clock_freq_hz=config_bus_clock_hz,
+            protocol="blocking",
+            arbitration="fifo",
+        )
+        config_bus_name = "config_bus"
+    result = transform_to_drcf(
+        netlist,
+        list(accels),
+        tech=tech,
+        config_memory="cfgmem",
+        drcf_name=drcf_name,
+        config_base=info.cfg_base,
+        config_bus=config_bus_name,
+        policy=policy,
+        use_area_slots=use_area_slots,
+        fabric_capacity_gates=fabric_capacity_gates,
+        config_burst_words=config_burst_words,
+    )
+    info.drcf_name = drcf_name
+    info.transform_report = result.report
+    return result.netlist, info
+
+
+def make_multi_fabric_netlist(
+    groups: Dict[str, Tuple[Sequence[str], ReconfigTechnology]],
+    *,
+    config_region_bytes: int = 0x0040_0000,
+    **baseline_kwargs,
+) -> Tuple[Netlist, SocInfo]:
+    """A SoC with several DRCFs — the "more complex architectures" the
+    paper says real designs need beyond a single reconfigurable block.
+
+    ``groups`` maps each fabric name to (accelerator names, technology).
+    Each group is folded by its own transformation; bitstream regions are
+    placed in disjoint windows of the shared configuration memory.  Groups
+    must be disjoint.
+    """
+    all_accels: List[str] = []
+    for accels, _tech in groups.values():
+        for name in accels:
+            if name in all_accels:
+                raise KeyError(f"accelerator {name!r} appears in two fabric groups")
+            all_accels.append(name)
+    netlist, info = make_baseline_netlist(tuple(all_accels), **baseline_kwargs)
+    region = info.cfg_base
+    for drcf_name, (accels, tech) in groups.items():
+        result = transform_to_drcf(
+            netlist,
+            list(accels),
+            tech=tech,
+            config_memory="cfgmem",
+            config_base=region,
+            drcf_name=drcf_name,
+        )
+        netlist = result.netlist
+        region += config_region_bytes
+    info.drcf_name = next(iter(groups))
+    return netlist, info
+
+
+def accelerator_gate_counts(accels: Sequence[str]) -> Dict[str, int]:
+    """Default gate counts of the named accelerator classes."""
+    return {name: ACCELERATOR_CLASSES[name].DEFAULT_GATES for name in accels}
+
+
+def architecture_area_um2(
+    accels: Sequence[str],
+    *,
+    asic_tech: ReconfigTechnology,
+    fabric_tech: Optional[ReconfigTechnology] = None,
+    folded: Sequence[str] = (),
+) -> float:
+    """Accelerator-subsystem silicon area of a template.
+
+    Dedicated blocks each pay their own area in ASIC gates; folded blocks
+    share one fabric sized for the largest context (plus nothing else —
+    configuration memory is accounted separately by the DSE reports).
+    """
+    gates = accelerator_gate_counts(accels)
+    area = 0.0
+    folded_set = set(folded)
+    for name in accels:
+        if name not in folded_set:
+            area += asic_tech.fabric_area_um2(gates[name])
+    if folded_set:
+        if fabric_tech is None:
+            raise ValueError("fabric_tech required when blocks are folded")
+        largest = max(gates[name] for name in folded_set)
+        area += fabric_tech.fabric_area_um2(largest)
+    return area

@@ -1,0 +1,222 @@
+"""The shared system bus.
+
+A bus-cycle-approximate model of the single shared bus in the paper's
+Figure 1 SoC: masters arbitrate for ownership, the winning transfer pays an
+address phase plus per-word data cycles, and the addressed slave's
+``read``/``write`` interface method is invoked through the same mechanism
+the paper uses (the slave method may itself consume simulated time).
+
+Two protocols are supported, because the paper's Section 5.4 (limitation 3)
+hinges on the difference:
+
+``blocking``
+    The bus is held for the entire slave call.  If the slave itself needs
+    the same bus to make progress (the DRCF fetching configuration data
+    during a context switch), the system deadlocks — exactly the failure
+    mode the paper describes.
+``split``
+    The bus is occupied only for the request and response transfers; it is
+    released while the slave processes.  This models the split-transaction
+    requirement the paper states for sharing the context-memory bus with
+    the component interface bus.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..kernel import Module, SimTime, SimulationError, cycles_to_time
+from .arbiter import Arbiter
+from .interfaces import (
+    BusMasterIf,
+    BusSlaveIf,
+    Transaction,
+    check_range,
+    normalize_write_data,
+)
+from .monitor import BusMonitor
+
+#: Supported bus protocols.
+PROTOCOLS = ("blocking", "split")
+
+
+class Bus(Module, BusMasterIf):
+    """A shared multi-master bus with address decoding and arbitration.
+
+    Parameters
+    ----------
+    clock_freq_hz:
+        Bus clock; all cycle counts convert to time at this frequency.
+    data_width_bits:
+        Width of one bus word (default 32).
+    address_phase_cycles:
+        Cycles consumed by the address/command phase of each transfer.
+    cycles_per_word:
+        Data cycles per word transferred.
+    protocol:
+        ``"blocking"`` or ``"split"`` (see module docstring).
+    arbitration:
+        Arbiter policy: ``"fifo"``, ``"priority"``, or ``"round_robin"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional[Module] = None,
+        sim=None,
+        *,
+        clock_freq_hz: float = 100e6,
+        data_width_bits: int = 32,
+        address_phase_cycles: int = 1,
+        cycles_per_word: int = 1,
+        protocol: str = "blocking",
+        arbitration: str = "fifo",
+    ) -> None:
+        super().__init__(name, parent=parent, sim=sim)
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown bus protocol {protocol!r}; expected one of {PROTOCOLS}")
+        if data_width_bits <= 0 or data_width_bits % 8:
+            raise ValueError("data_width_bits must be a positive multiple of 8")
+        self.clock_freq_hz = clock_freq_hz
+        self.data_width_bits = data_width_bits
+        self.address_phase_cycles = address_phase_cycles
+        self.cycles_per_word = cycles_per_word
+        self.protocol = protocol
+        self.arbiter = Arbiter(self.sim, policy=arbitration, name=f"{self.full_name}.arbiter")
+        self.monitor = BusMonitor(name=f"{self.full_name}.monitor")
+        self._slaves: List[BusSlaveIf] = []
+        self._priorities: Dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------------
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per bus word."""
+        return self.data_width_bits // 8
+
+    def words_for_bytes(self, n_bytes: int) -> int:
+        """Number of bus words needed to move ``n_bytes``."""
+        return max(1, math.ceil(n_bytes / self.word_bytes))
+
+    def register_slave(self, slave: BusSlaveIf) -> None:
+        """Attach a slave; its address range must not overlap existing ones."""
+        if not isinstance(slave, BusSlaveIf):
+            raise SimulationError(
+                f"{type(slave).__name__} does not implement BusSlaveIf"
+            )
+        low, high = slave.get_low_add(), slave.get_high_add()
+        check_range(self._slave_name(slave), low, high)
+        for other in self._slaves:
+            if low <= other.get_high_add() and other.get_low_add() <= high:
+                raise SimulationError(
+                    f"address range [{low:#x}, {high:#x}] of "
+                    f"{self._slave_name(slave)} overlaps "
+                    f"{self._slave_name(other)}"
+                )
+        self._slaves.append(slave)
+
+    def unregister_slave(self, slave: BusSlaveIf) -> None:
+        """Detach a slave (used by the DRCF model transformation)."""
+        self._slaves.remove(slave)
+
+    @property
+    def slaves(self) -> List[BusSlaveIf]:
+        return list(self._slaves)
+
+    def set_master_priority(self, master: str, priority: int) -> None:
+        """Fixed priority for ``master`` (lower wins; only with priority policy)."""
+        self._priorities[master] = priority
+
+    def decode(self, addr: int) -> BusSlaveIf:
+        """The slave whose range contains ``addr``."""
+        for slave in self._slaves:
+            if slave.get_low_add() <= addr <= slave.get_high_add():
+                return slave
+        raise SimulationError(f"bus {self.full_name}: no slave decodes address {addr:#x}")
+
+    # -- timing helpers ------------------------------------------------------------
+    def cycles(self, n: int) -> SimTime:
+        """``n`` bus-clock cycles as a duration."""
+        return cycles_to_time(n, self.clock_freq_hz)
+
+    def transfer_time(self, words: int) -> SimTime:
+        """Pure data-path occupancy for a ``words``-word burst."""
+        return self.cycles(self.address_phase_cycles + words * self.cycles_per_word)
+
+    # -- BusMasterIf -------------------------------------------------------------
+    def read(self, addr: int, count: int = 1, master: str = "?", tags: Sequence[str] = ()):
+        """Arbitrated burst read (generator). Returns a list of words."""
+        if count <= 0:
+            raise SimulationError("burst read count must be positive")
+        result = yield from self._transfer("read", addr, count, None, master, tags)
+        return result
+
+    def write(
+        self,
+        addr: int,
+        data: Union[int, Sequence[int]],
+        master: str = "?",
+        tags: Sequence[str] = (),
+    ):
+        """Arbitrated burst write (generator). Returns True on success."""
+        words = normalize_write_data(data)
+        yield from self._transfer("write", addr, len(words), words, master, tags)
+        return True
+
+    # -- core transfer ----------------------------------------------------------------
+    def _transfer(
+        self,
+        kind: str,
+        addr: int,
+        count: int,
+        payload: Optional[List[int]],
+        master: str,
+        tags: Sequence[str],
+    ):
+        issued_at = self.sim.now
+        priority = self._priorities.get(master, 0)
+        slave = self.decode(addr)  # decode errors surface before arbitration
+        yield from self.arbiter.request(master, priority)
+        granted_at = self.sim.now
+        data: Optional[List[int]] = None
+        try:
+            yield self.cycles(self.address_phase_cycles)
+            if self.protocol == "blocking":
+                data = yield from self._slave_call(slave, kind, addr, count, payload)
+                yield self.cycles(count * self.cycles_per_word)
+            else:
+                # Split: release the bus while the slave processes.
+                yield self.cycles(1)  # request transfer beat
+                self.arbiter.release(master)
+                data = yield from self._slave_call(slave, kind, addr, count, payload)
+                yield from self.arbiter.request(master, priority)
+                yield self.cycles(count * self.cycles_per_word)
+        finally:
+            if self.arbiter.owner == master:
+                self.arbiter.release(master)
+        self.monitor.record(
+            Transaction(
+                kind=kind,
+                master=master,
+                slave=self._slave_name(slave),
+                addr=addr,
+                words=count,
+                issued_at=issued_at,
+                granted_at=granted_at,
+                completed_at=self.sim.now,
+                tags=list(tags),
+            )
+        )
+        return data
+
+    @staticmethod
+    def _slave_call(slave: BusSlaveIf, kind: str, addr: int, count: int, payload):
+        if kind == "read":
+            data = yield from slave.read(addr, count)
+            return data
+        yield from slave.write(addr, payload if len(payload) > 1 else payload[0])
+        return None
+
+    @staticmethod
+    def _slave_name(slave: BusSlaveIf) -> str:
+        return getattr(slave, "full_name", type(slave).__name__)

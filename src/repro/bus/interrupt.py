@@ -1,0 +1,150 @@
+"""Interrupt controller.
+
+The paper's bus-traffic argument cuts both ways: software that *polls* an
+accelerator's STATUS register loads the bus with reads that an
+interrupt-driven design avoids.  This controller is a bus slave with the
+classic PENDING/MASK/ACK register file plus per-line kernel events, so CPU
+tasks can sleep on completion instead of polling — and the bus monitor then
+shows the traffic difference (see ``tests/bus/test_interrupt.py``).
+
+Register map (word offsets from ``base``):
+
+========  ==============================================================
+``0x00``  PENDING (read; bit per line, set by ``raise_irq``)
+``0x04``  MASK (read/write; 1 = line enabled; reset: all enabled)
+``0x08``  ACK (write; clears the written bits in PENDING)
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..kernel import Event, Module, SimulationError, cycles_to_time
+from .interfaces import BusSlaveIf, InterruptIf, normalize_write_data
+
+REG_PENDING = 0x00
+REG_MASK = 0x04
+REG_ACK = 0x08
+
+
+class InterruptController(Module, BusSlaveIf, InterruptIf):
+    """An N-line level interrupt controller.
+
+    Sources are registered by name (:meth:`register_source`) and signal via
+    :meth:`raise_irq`; each line has an :class:`~repro.kernel.Event` that
+    fires when the line becomes pending while unmasked, plus a combined
+    ``any_irq`` event.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional[Module] = None,
+        sim=None,
+        *,
+        base: int,
+        n_lines: int = 32,
+        access_cycles: int = 1,
+        clock_freq_hz: float = 100e6,
+    ) -> None:
+        super().__init__(name, parent=parent, sim=sim)
+        if not 1 <= n_lines <= 32:
+            raise SimulationError("interrupt controller supports 1..32 lines")
+        self.base = base
+        self.n_lines = n_lines
+        self.access_cycles = access_cycles
+        self.clock_freq_hz = clock_freq_hz
+        self._pending = 0
+        self._mask = (1 << n_lines) - 1
+        self._line_of: Dict[str, int] = {}
+        self._line_events: List[Event] = [
+            Event(self.sim, f"{self.full_name}.irq{i}") for i in range(n_lines)
+        ]
+        #: Fires whenever any unmasked line becomes pending.
+        self.any_irq = Event(self.sim, f"{self.full_name}.any_irq")
+        self.raised_count = 0
+
+    # -- source management ---------------------------------------------------
+    def register_source(self, source: str, line: Optional[int] = None) -> int:
+        """Assign ``source`` to a line (next free if unspecified)."""
+        if source in self._line_of:
+            return self._line_of[source]
+        if line is None:
+            used = set(self._line_of.values())
+            free = [i for i in range(self.n_lines) if i not in used]
+            if not free:
+                raise SimulationError(f"{self.full_name}: out of interrupt lines")
+            line = free[0]
+        if not 0 <= line < self.n_lines:
+            raise SimulationError(f"line {line} out of range")
+        self._line_of[source] = line
+        return line
+
+    def line_event(self, source: str) -> Event:
+        """The kernel event of ``source``'s line (CPU tasks wait on this)."""
+        return self._line_events[self._require_line(source)]
+
+    def _require_line(self, source: str) -> int:
+        try:
+            return self._line_of[source]
+        except KeyError:
+            raise SimulationError(
+                f"{self.full_name}: unknown interrupt source {source!r}; "
+                f"registered: {sorted(self._line_of)}"
+            ) from None
+
+    # -- InterruptIf ------------------------------------------------------------
+    def raise_irq(self, source: str) -> None:
+        """Mark ``source``'s line pending; notify events if unmasked."""
+        line = self._require_line(source)
+        bit = 1 << line
+        self._pending |= bit
+        self.raised_count += 1
+        if self._mask & bit:
+            self._line_events[line].notify()
+            self.any_irq.notify()
+
+    def is_pending(self, source: str) -> bool:
+        return bool(self._pending & (1 << self._require_line(source)))
+
+    def acknowledge(self, source: str) -> None:
+        """Clear ``source``'s pending bit (direct API form of ACK)."""
+        self._pending &= ~(1 << self._require_line(source))
+
+    # -- BusSlaveIf ----------------------------------------------------------------
+    def get_low_add(self) -> int:
+        return self.base
+
+    def get_high_add(self) -> int:
+        return self.base + 0x0B
+
+    def read(self, addr: int, count: int = 1):
+        yield cycles_to_time(self.access_cycles * count, self.clock_freq_hz)
+        out = []
+        for i in range(count):
+            offset = addr - self.base + 4 * i
+            if offset == REG_PENDING:
+                out.append(self._pending & self._mask)
+            elif offset == REG_MASK:
+                out.append(self._mask)
+            elif offset == REG_ACK:
+                out.append(0)
+            else:
+                raise SimulationError(f"{self.full_name}: read from {addr + 4 * i:#x}")
+        return out
+
+    def write(self, addr: int, data: Union[int, Sequence[int]]):
+        words = normalize_write_data(data)
+        yield cycles_to_time(self.access_cycles * len(words), self.clock_freq_hz)
+        for i, word in enumerate(words):
+            offset = addr - self.base + 4 * i
+            if offset == REG_MASK:
+                self._mask = word & ((1 << self.n_lines) - 1)
+            elif offset == REG_ACK:
+                self._pending &= ~word
+            elif offset == REG_PENDING:
+                pass  # read-only
+            else:
+                raise SimulationError(f"{self.full_name}: write to {addr + 4 * i:#x}")
+        return True

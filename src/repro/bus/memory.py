@@ -1,0 +1,213 @@
+"""Memory models.
+
+:class:`Memory` is a bus slave with first-access latency and per-word
+streaming cycles, backed by a sparse word store (so a multi-megabyte
+configuration memory costs nothing until written).  The paper's context
+scheduler "generate[s] proper data reads in to the memory space that holds
+the required context" — those reads land here and their cost is what
+experiment A3 varies.
+
+:class:`ConfigMemory` is a :class:`Memory` that additionally knows which
+address ranges hold which configuration bitstreams, so reads from a context
+region can be asserted against in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..kernel import Module, SimulationError, cycles_to_time
+from .interfaces import BusSlaveIf, normalize_write_data
+
+#: FNV-1a offset/prime (32-bit) for bitstream checksums.
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+
+def region_checksum(words) -> int:
+    """FNV-1a (32-bit) over a word sequence — the bitstream CRC stand-in."""
+    value = _FNV_OFFSET
+    for word in words:
+        value ^= word & 0xFFFFFFFF
+        value = (value * _FNV_PRIME) & 0xFFFFFFFF
+    return value
+
+
+class Memory(Module, BusSlaveIf):
+    """A latency-modelled RAM bus slave.
+
+    Parameters
+    ----------
+    base, size_words:
+        Decoded address range is ``[base, base + size_words*word_bytes)``.
+    word_bytes:
+        Addressing granularity (must match the bus word for simple systems).
+    latency_cycles:
+        Cycles before the first word of a burst is available.
+    cycles_per_word:
+        Additional cycles for each subsequent word of a burst.
+    clock_freq_hz:
+        Memory clock used to convert cycles to time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional[Module] = None,
+        sim=None,
+        *,
+        base: int = 0,
+        size_words: int = 1024,
+        word_bytes: int = 4,
+        latency_cycles: int = 2,
+        cycles_per_word: int = 1,
+        clock_freq_hz: float = 100e6,
+        fill: int = 0,
+    ) -> None:
+        super().__init__(name, parent=parent, sim=sim)
+        if size_words <= 0:
+            raise ValueError("memory size must be positive")
+        self.base = base
+        self.size_words = size_words
+        self.word_bytes = word_bytes
+        self.latency_cycles = latency_cycles
+        self.cycles_per_word = cycles_per_word
+        self.clock_freq_hz = clock_freq_hz
+        self.fill = fill
+        self._store: Dict[int, int] = {}
+        self.read_word_count = 0
+        self.write_word_count = 0
+
+    # -- BusSlaveIf ----------------------------------------------------------
+    def get_low_add(self) -> int:
+        return self.base
+
+    def get_high_add(self) -> int:
+        return self.base + self.size_words * self.word_bytes - 1
+
+    def read(self, addr: int, count: int = 1):
+        """Burst read (generator); returns ``count`` words."""
+        index = self._index(addr, count)
+        yield cycles_to_time(
+            self.latency_cycles + (count - 1) * self.cycles_per_word, self.clock_freq_hz
+        )
+        self.read_word_count += count
+        return [self._store.get(index + i, self.fill) for i in range(count)]
+
+    def write(self, addr: int, data: Union[int, Sequence[int]]):
+        """Burst write (generator); returns True."""
+        words = normalize_write_data(data)
+        index = self._index(addr, len(words))
+        yield cycles_to_time(
+            self.latency_cycles + (len(words) - 1) * self.cycles_per_word,
+            self.clock_freq_hz,
+        )
+        for i, word in enumerate(words):
+            self._store[index + i] = word
+        self.write_word_count += len(words)
+        return True
+
+    # -- zero-time backdoor (test benches, loaders) --------------------------------
+    def poke(self, addr: int, data: Union[int, Sequence[int]]) -> None:
+        """Write words without consuming simulated time (test-bench backdoor)."""
+        words = normalize_write_data(data)
+        index = self._index(addr, len(words))
+        for i, word in enumerate(words):
+            self._store[index + i] = word
+
+    def peek(self, addr: int, count: int = 1) -> List[int]:
+        """Read words without consuming simulated time (test-bench backdoor)."""
+        index = self._index(addr, count)
+        return [self._store.get(index + i, self.fill) for i in range(count)]
+
+    def _index(self, addr: int, count: int) -> int:
+        if addr % self.word_bytes:
+            raise SimulationError(
+                f"{self.full_name}: unaligned access at {addr:#x} (word={self.word_bytes})"
+            )
+        index = (addr - self.base) // self.word_bytes
+        if index < 0 or index + count > self.size_words:
+            raise SimulationError(
+                f"{self.full_name}: access [{addr:#x} +{count}w] outside "
+                f"[{self.get_low_add():#x}, {self.get_high_add():#x}]"
+            )
+        return index
+
+
+class ConfigMemory(Memory):
+    """A memory that records named configuration (context) regions.
+
+    The DRCF's context parameters point into this memory; registering the
+    region here lets tests assert that context-switch traffic actually
+    targeted the right bitstream bytes.
+
+    For integrity modeling (fine-grain devices CRC-check each configuration
+    frame), each region records a checksum of its content at registration
+    time, and :meth:`inject_transient_error` corrupts exactly the next read
+    touching the region — the failure-injection hook behind the DRCF's
+    verify-and-refetch option.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._regions: Dict[str, Tuple[int, int]] = {}
+        self._checksums: Dict[str, int] = {}
+        self._transient_errors: Dict[str, int] = {}
+        self.injected_errors = 0
+
+    def register_context_region(self, context_name: str, addr: int, size_bytes: int) -> None:
+        """Declare that ``context_name``'s bitstream lives at ``[addr, addr+size)``."""
+        if addr < self.get_low_add() or addr + size_bytes - 1 > self.get_high_add():
+            raise SimulationError(
+                f"context region {context_name!r} [{addr:#x} +{size_bytes}B] outside "
+                f"{self.full_name}"
+            )
+        self._regions[context_name] = (addr, size_bytes)
+        self._checksums[context_name] = self._compute_checksum(addr, size_bytes)
+
+    def _compute_checksum(self, addr: int, size_bytes: int) -> int:
+        words = max(1, -(-size_bytes // self.word_bytes))
+        return region_checksum(self.peek(addr, words))
+
+    def region_of(self, context_name: str) -> Tuple[int, int]:
+        """The (address, size) registered for ``context_name``."""
+        return self._regions[context_name]
+
+    def checksum_of(self, context_name: str) -> int:
+        """The checksum recorded for the region at registration time."""
+        return self._checksums[context_name]
+
+    def inject_transient_error(self, context_name: str, n_bursts: int = 1) -> None:
+        """Corrupt the next ``n_bursts`` burst reads touching the region.
+
+        Models a transient configuration-memory/bus error: each affected
+        burst returns one flipped bit; later bursts are clean again, so a
+        whole-bitstream fetch containing a corrupted burst fails its
+        checksum once and succeeds on refetch.
+        """
+        if context_name not in self._regions:
+            raise SimulationError(
+                f"{self.full_name}: unknown context region {context_name!r}"
+            )
+        if n_bursts <= 0:
+            raise ValueError("n_bursts must be positive")
+        self._transient_errors[context_name] = (
+            self._transient_errors.get(context_name, 0) + n_bursts
+        )
+
+    def read(self, addr: int, count: int = 1):
+        data = yield from super().read(addr, count)
+        region = self.context_for_address(addr)
+        if region is not None and self._transient_errors.get(region, 0) > 0:
+            self._transient_errors[region] -= 1
+            self.injected_errors += 1
+            data = list(data)
+            data[0] ^= 0x1  # single flipped bit in the first word
+        return data
+
+    def context_for_address(self, addr: int) -> Optional[str]:
+        """Which registered region (if any) contains ``addr``."""
+        for name, (base, size) in self._regions.items():
+            if base <= addr < base + size:
+                return name
+        return None

@@ -1,0 +1,303 @@
+"""Command-line interface.
+
+Drives the reproduction's main entry points without writing Python::
+
+    python -m repro info
+    python -m repro compare --tech morphosys --frames 2
+    python -m repro sweep --techs asic,virtex2pro,morphosys --csv out.csv
+    python -m repro flow --tech varicore
+    python -m repro transform --accels fir,fft --tech virtex2pro --listing
+    python -m repro deadlock
+
+Every command prints the same tables the experiment benches regenerate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .apps.soc import ACCELERATOR_CLASSES
+from .tech import PRESETS
+
+DEFAULT_ACCELS = "fir,fft,viterbi,xtea"
+
+
+def _accel_list(text: str) -> List[str]:
+    accels = [a.strip() for a in text.split(",") if a.strip()]
+    unknown = [a for a in accels if a not in ACCELERATOR_CLASSES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown accelerators {unknown}; known: {sorted(ACCELERATOR_CLASSES)}"
+        )
+    if not accels:
+        raise argparse.ArgumentTypeError("need at least one accelerator")
+    return accels
+
+
+def _tech_name(text: str) -> str:
+    if text != "asic" and text not in PRESETS:
+        raise argparse.ArgumentTypeError(
+            f"unknown technology {text!r}; known: {sorted(PRESETS)}"
+        )
+    return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'System-Level Modeling of Dynamically "
+            "Reconfigurable Hardware with SystemC' (RAW/IPDPS 2003)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package map, technology presets, Figure 2 bands")
+
+    compare = sub.add_parser(
+        "compare", help="run Figure 1(a) vs 1(b) on the same workload"
+    )
+    compare.add_argument("--accels", type=_accel_list, default=_accel_list(DEFAULT_ACCELS))
+    compare.add_argument("--tech", type=_tech_name, default="morphosys")
+    compare.add_argument("--frames", type=int, default=2)
+    compare.add_argument(
+        "--workload", choices=("interleaved", "batched", "random"), default="interleaved"
+    )
+    compare.add_argument("--seed", type=int, default=42)
+
+    sweep = sub.add_parser("sweep", help="technology/workload design-space sweep")
+    sweep.add_argument(
+        "--techs",
+        default="asic,virtex2pro,varicore,morphosys",
+        help="comma-separated technology names",
+    )
+    sweep.add_argument("--workloads", default="interleaved,batched")
+    sweep.add_argument("--accels", type=_accel_list, default=_accel_list(DEFAULT_ACCELS))
+    sweep.add_argument("--frames", type=int, default=2)
+    sweep.add_argument("--csv", default=None, help="also write rows to this CSV file")
+
+    flow = sub.add_parser("flow", help="run the Figure 3 ADRIATIC flow")
+    flow.add_argument("--accels", type=_accel_list, default=_accel_list(DEFAULT_ACCELS))
+    flow.add_argument("--tech", type=_tech_name, default="varicore")
+    flow.add_argument("--frames", type=int, default=2)
+    flow.add_argument("--back-annotate-scale", type=float, default=None)
+
+    transform = sub.add_parser(
+        "transform", help="run the Section 5.2 transformation and print sources"
+    )
+    transform.add_argument("--accels", type=_accel_list, default=_accel_list("fir,fft"))
+    transform.add_argument("--tech", type=_tech_name, default="virtex2pro")
+    transform.add_argument(
+        "--listing", action="store_true", help="also print the generated DRCF class"
+    )
+
+    sub.add_parser("deadlock", help="reproduce the Section 5.4 deadlock matrix")
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="regenerate every paper artifact (runs the benchmark suite)",
+    )
+    experiments.add_argument(
+        "--path",
+        default="benchmarks",
+        help="benchmark directory of a repository checkout (default: ./benchmarks)",
+    )
+    experiments.add_argument(
+        "--filter", default=None, help="only benches matching this -k expression"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def cmd_info(args) -> int:
+    from . import __version__
+    from .dse import format_table
+    from .tech import efficiency_table
+
+    print(f"repro {__version__} — DRCF system-level modeling reproduction")
+    print("\ntechnology presets:")
+    for name, tech in sorted(PRESETS.items()):
+        print(f"  {tech.describe()}")
+    print("\naccelerator IP:", ", ".join(sorted(ACCELERATOR_CLASSES)))
+    rows = [
+        {
+            "class": entry["label"],
+            "flexibility": entry["flexibility"],
+            "band_mops_per_mw": "{}-{}".format(*entry["band_mops_per_mw"]),
+        }
+        for entry in efficiency_table()
+    ]
+    print()
+    print(format_table(rows, title="Figure 2 bands"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .dse import evaluate_architecture, format_table
+
+    rows = []
+    for tech in ("asic", args.tech):
+        metrics = evaluate_architecture(
+            {
+                "tech": tech,
+                "accels": tuple(args.accels),
+                "n_frames": args.frames,
+                "workload": args.workload,
+                "seed": args.seed,
+            }
+        )
+        rows.append(
+            {
+                "architecture": "fig-1a (dedicated)" if tech == "asic" else f"fig-1b ({tech})",
+                "makespan_us": metrics["makespan_us"],
+                "switches": metrics["switches"],
+                "reconfig_us": metrics["reconfig_time_us"],
+                "config_words": metrics["bus_config_words"],
+                "area_um2": metrics["area_um2"],
+            }
+        )
+    print(format_table(rows, title=f"figure 1 comparison ({args.workload}, {args.frames} frames)"))
+    print("\n(all outputs verified against the executable specification)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .dse import Explorer, ParameterSpace, evaluate_architecture, format_points, points_to_rows, write_csv
+
+    techs = [_tech_name(t.strip()) for t in args.techs.split(",") if t.strip()]
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    space = (
+        ParameterSpace()
+        .add_axis("tech", techs)
+        .add_axis("workload", workloads)
+        .add_axis("n_frames", [args.frames])
+        .add_axis("accels", [tuple(args.accels)])
+    )
+    points = Explorer(evaluate_architecture).run(space)
+    metric_keys = (
+        "makespan_us", "switches", "reconfig_time_us", "bus_config_words", "area_um2",
+    )
+    print(format_points(points, ("tech", "workload"), metric_keys, title="DSE sweep"))
+    if args.csv:
+        write_csv(args.csv, points_to_rows(points, ("tech", "workload"), metric_keys))
+        print(f"\nrows written to {args.csv}")
+    return 0
+
+
+def cmd_flow(args) -> int:
+    from .dse import AdriaticFlow, format_table
+    from .tech import preset
+
+    flow = AdriaticFlow(tuple(args.accels), tech=preset(args.tech), n_frames=args.frames)
+    result = flow.run(back_annotate_scale=args.back_annotate_scale)
+    print("partitioning recommendation:", ", ".join(result.recommendation.candidates) or "(none)")
+    for name in result.recommendation.candidates:
+        for reason in result.recommendation.reason(name):
+            print(f"  {name}: {reason}")
+    print()
+    print(format_table(result.summary_rows(), title="flow stage comparison"))
+    return 0
+
+
+def cmd_transform(args) -> int:
+    from .apps import make_baseline_netlist
+    from .core import generate_build_source, generate_drcf_listing, generate_transformation_diff, transform_to_drcf
+    from .tech import preset
+
+    netlist, info = make_baseline_netlist(tuple(args.accels))
+    result = transform_to_drcf(
+        netlist, list(args.accels), tech=preset(args.tech),
+        config_memory="cfgmem", config_base=info.cfg_base,
+    )
+    print("# original construction source")
+    print(generate_build_source(netlist))
+    print(generate_transformation_diff(netlist, result.netlist))
+    if args.listing:
+        print("# generated DRCF component")
+        print(generate_drcf_listing(result.report))
+    for alloc in result.report.allocations:
+        print(
+            f"# context {alloc.name}: {alloc.size_bytes} bytes at "
+            f"{alloc.config_addr:#x} (+{alloc.extra_delay})"
+        )
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    import os
+
+    import pytest as _pytest
+
+    if not os.path.isdir(args.path):
+        print(
+            f"benchmark directory {args.path!r} not found — run from a "
+            "repository checkout or pass --path"
+        )
+        return 2
+    argv = [args.path, "--benchmark-only", "-q"]
+    if args.filter:
+        argv += ["-k", args.filter]
+    code = int(_pytest.main(argv))
+    results = os.path.join(args.path, "results")
+    if os.path.isdir(results):
+        print(f"\nregenerated tables archived under {results}/")
+    return code
+
+
+def cmd_deadlock(args) -> int:
+    from .analysis import diagnose
+    from .apps import JobRunner, frame_interleaved_jobs, make_reconfigurable_netlist
+    from .dse import format_table
+    from .kernel import Simulator
+    from .tech import VIRTEX2PRO
+
+    rows = []
+    for protocol in ("blocking", "split"):
+        for dedicated in (False, True):
+            netlist, info = make_reconfigurable_netlist(
+                ("fir", "fft"), tech=VIRTEX2PRO,
+                bus_protocol=protocol, dedicated_config_bus=dedicated,
+            )
+            sim = Simulator()
+            design = netlist.elaborate(sim)
+            jobs = frame_interleaved_jobs(("fir", "fft"), 1, seed=5)
+            runner = JobRunner(info.accel_bases, info.buffer_words)
+            design["cpu"].run_task(runner.task(jobs), name="wl")
+            sim.run()
+            report = diagnose(sim, buses=[design["system_bus"]])
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "dedicated_cfg_bus": dedicated,
+                    "deadlocked": report.deadlocked,
+                    "jobs": f"{len(runner.results)}/{len(jobs)}",
+                }
+            )
+    print(format_table(rows, title="Section 5.4 limitation 3: deadlock condition"))
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "flow": cmd_flow,
+    "transform": cmd_transform,
+    "deadlock": cmd_deadlock,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

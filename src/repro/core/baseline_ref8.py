@@ -1,0 +1,43 @@
+"""The OCAPI-XL-style baseline of the paper's reference [8].
+
+Section 4: "For system-level modeling authors of [8] presented a
+OCAPI-XL-based method where special processes called scheduler
+automatically handle scheduling of contexts.  **However, the memory traffic
+associated to context switching is not modeled.**"
+
+:class:`Ref8Drcf` reproduces that modeling style: context switches consume
+the configuration-port load time and the per-context extra delay, but issue
+**no transactions on the memory bus**.  Under bus contention this
+underestimates both the switch latency (no arbitration wait, no bus
+occupancy) and the slowdown inflicted on other masters — experiment E8
+quantifies the divergence and shows it grows with background load.
+
+The class deliberately shares the full :class:`~repro.core.drcf.Drcf`
+machinery (decode, fabric lock, slot management, instrumentation) so the
+*only* difference is the missing traffic.
+"""
+
+from __future__ import annotations
+
+from .drcf import Drcf
+
+
+class Ref8Drcf(Drcf):
+    """A DRCF whose context switches bypass the memory bus.
+
+    The switch still takes the technology's configuration-port time plus
+    the per-context extra delay (ref [8] models the reconfiguration
+    *delay*), but the bus never sees the configuration words: they are
+    accounted in :attr:`stats` as fetched for comparability, yet no
+    arbitration or transfer happens.
+    """
+
+    def _fetch_config(self, config_addr: int, n_words: int, context_name: str):
+        # The port-bound load time is applied by the scheduler on top of a
+        # zero-time "fetch" (elapsed == 0 here), so the modeled delay equals
+        # raw_load_time(context) + extra_delay — delay without traffic.  The
+        # words are reported as modeled (for comparable statistics) even
+        # though none crossed the bus.
+        if False:  # pragma: no cover - make this a generator with no yields
+            yield None
+        return n_words

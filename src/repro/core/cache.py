@@ -1,0 +1,102 @@
+"""On-chip configuration (bitstream) cache.
+
+Chapter 2 lists "memories storing configurations" among the area overheads
+of reconfigurable systems; the engineering question is whether spending
+that area on-chip pays back in switch latency and bus traffic.  A
+:class:`ConfigCache` models a dedicated on-chip bitstream store in front of
+the configuration-memory path: a context whose bitstream is cached reloads
+at on-chip bandwidth without touching the system bus.
+
+This is an extension of the methodology in its own spirit (a parameterized
+memory-organization knob, Section 5.3); experiment A5 sweeps the capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..kernel import SimTime, cycles_to_time
+
+
+class ConfigCache:
+    """An LRU cache of whole context bitstreams.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total on-chip storage.  Bitstreams larger than the capacity are
+        never cached (they would evict everything for no reuse).
+    words_per_cycle:
+        On-chip refill bandwidth in bus words per fabric cycle.
+    clock_freq_hz:
+        Clock used to convert the refill into time.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        words_per_cycle: int = 4,
+        clock_freq_hz: float = 100e6,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        if words_per_cycle <= 0:
+            raise ValueError("refill bandwidth must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.words_per_cycle = words_per_cycle
+        self.clock_freq_hz = clock_freq_hz
+        self._resident: "OrderedDict[str, int]" = OrderedDict()  # name -> bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def resident_names(self) -> list:
+        """Cached bitstream names, LRU first."""
+        return list(self._resident)
+
+    def contains(self, name: str) -> bool:
+        return name in self._resident
+
+    # -- access ------------------------------------------------------------
+    def lookup(self, name: str) -> bool:
+        """Check + touch; returns True on hit (counts the access)."""
+        if name in self._resident:
+            self._resident.move_to_end(name)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, name: str, size_bytes: int) -> None:
+        """Cache a bitstream fetched from memory, evicting LRU as needed."""
+        if size_bytes > self.capacity_bytes:
+            return  # would thrash the whole cache for zero reuse
+        while self.used_bytes + size_bytes > self.capacity_bytes:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        self._resident[name] = size_bytes
+        self._resident.move_to_end(name)
+
+    def refill_time(self, size_bytes: int) -> SimTime:
+        """Time to stream a cached bitstream into the configuration plane."""
+        words = max(1, -(-size_bytes // 4))
+        cycles = -(-words // self.words_per_cycle)
+        return cycles_to_time(cycles, self.clock_freq_hz)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfigCache({self.used_bytes}/{self.capacity_bytes}B, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,123 @@
+"""Context descriptors.
+
+Section 5.3 of the paper gives the designer three parameters per context:
+
+1. the memory address where the context (configuration bitstream) is
+   allocated,
+2. the size of the context, and
+3. delays associated with the reconfiguration process *in addition to* the
+   delays of the memory transfers.
+
+:class:`ContextParameters` is the direct encoding.  A :class:`Context`
+pairs those parameters with the functional module that executes when the
+context is active, plus the resource estimate (equivalent gates) used by
+the area/power models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel import SimTime, ZERO_TIME
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bus import BusSlaveIf
+    from ..tech import ReconfigTechnology
+
+
+@dataclass
+class ContextParameters:
+    """The paper's three per-context parameters (Section 5.3)."""
+
+    #: 1. Memory address where the configuration bitstream is allocated.
+    config_addr: int
+    #: 2. Size of the context (configuration bitstream) in bytes.
+    size_bytes: int
+    #: 3. Extra reconfiguration delay beyond the memory transfers.
+    extra_delay: SimTime = ZERO_TIME
+    #: Expected bitstream checksum (integrity modeling; None = unchecked).
+    checksum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.config_addr < 0:
+            raise ValueError("context config address must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("context size must be positive")
+
+    def config_words(self, word_bytes: int) -> int:
+        """Bus words needed to fetch the bitstream."""
+        return max(1, -(-self.size_bytes // word_bytes))
+
+
+@dataclass(eq=False)  # identity semantics: each context is one fabric tenant
+class Context:
+    """One functionality mapped onto the reconfigurable block.
+
+    Attributes
+    ----------
+    name:
+        Context identifier (usually the wrapped module's base name).
+    module:
+        The :class:`~repro.bus.BusSlaveIf` implementation that serves
+        interface-method calls while this context is active.
+    params:
+        The Section 5.3 parameters.
+    gates:
+        Equivalent ASIC gate count of the functionality (resource model).
+    """
+
+    name: str
+    module: "BusSlaveIf"
+    params: ContextParameters
+    gates: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.gates <= 0:
+            raise ValueError("context gate count must be positive")
+
+    @property
+    def low_addr(self) -> int:
+        """Low end of the interface address range this context decodes."""
+        return self.module.get_low_add()
+
+    @property
+    def high_addr(self) -> int:
+        """High end of the interface address range this context decodes."""
+        return self.module.get_high_add()
+
+    def decodes(self, addr: int) -> bool:
+        """Whether an interface call to ``addr`` targets this context."""
+        return self.low_addr <= addr <= self.high_addr
+
+    def __repr__(self) -> str:
+        return (
+            f"Context({self.name!r}, [{self.low_addr:#x}..{self.high_addr:#x}], "
+            f"{self.params.size_bytes}B @ {self.params.config_addr:#x})"
+        )
+
+
+def context_parameters_for(
+    tech: "ReconfigTechnology",
+    gates: int,
+    config_addr: int,
+    extra_delay: Optional[SimTime] = None,
+) -> ContextParameters:
+    """Derive :class:`ContextParameters` from a technology preset.
+
+    The context size follows the technology's bits-per-gate density; the
+    extra delay defaults to the technology's fixed reconfiguration
+    overhead.  This is the bridge from the Chapter 3 device data to the
+    Section 5.3 model parameters.
+    """
+    size = tech.context_size_bytes(gates)
+    if size <= 0:
+        raise ValueError(
+            f"technology {tech.name} yields empty context for {gates} gates "
+            "(is it reconfigurable?)"
+        )
+    return ContextParameters(
+        config_addr=config_addr,
+        size_bytes=size,
+        extra_delay=tech.reconfig_overhead if extra_delay is None else extra_delay,
+    )

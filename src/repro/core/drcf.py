@@ -1,0 +1,315 @@
+"""The DRCF component (Dynamically Re-Configurable Fabric).
+
+The paper's generated ``drcf_own`` class implements the analyzed slave
+interface, owns the candidate modules, and contains "a context scheduler
+and instrumentation process and a multiplexer that routes data transfers to
+correct instances".  :class:`Drcf` is that component:
+
+* it implements :class:`~repro.bus.BusSlaveIf` over the union of its
+  contexts' address ranges (so it can replace them on the bus);
+* incoming ``read``/``write`` calls are decoded to a context (step 1 of the
+  Section 5.3 protocol), routed through the scheduler (steps 2–4) and then
+  forwarded to the wrapped module's own interface method (the multiplexer);
+* a master port issues the configuration-memory reads during context
+  switches, making reconfiguration traffic visible on the system bus;
+* instrumentation (step 5) accumulates per-context active/reconfigure time
+  and configuration traffic in :attr:`stats`.
+
+Interface calls serialize on a fabric lock: the reconfigurable block
+executes one context at a time ("a time-slice scheduled application
+specific hardware block", Section 5.1), so a call must wait while another
+call computes or a foreground switch is in progress.  Background prefetch
+loads (multi-context devices) proceed in parallel with execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from ..bus import BusMasterIf, BusSlaveIf
+from ..bus.memory import region_checksum
+from ..kernel import Event, Module, Mutex, Port, Signal, SimulationError
+from .context import Context
+from .policies import (
+    AreaSlotManager,
+    FixedSlotManager,
+    LruPolicy,
+    ReplacementPolicy,
+    SlotManager,
+)
+from .scheduler import ContextScheduler
+from .stats import DrcfStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tech import ReconfigTechnology
+
+
+class Drcf(Module, BusSlaveIf):
+    """A dynamically reconfigurable fabric hosting several contexts.
+
+    Parameters
+    ----------
+    contexts:
+        The functionalities folded into this fabric.  Their interface
+        address ranges must be disjoint.
+    tech:
+        Technology preset providing switch/activation timing, slot count
+        and background-load capability.
+    config_burst_words:
+        Burst length of configuration fetches on the memory bus.
+    policy:
+        Replacement policy for resident contexts (default LRU).
+    use_area_slots:
+        Model partial reconfiguration: contexts share a gate budget
+        (``fabric_capacity_gates``) instead of fixed slots.
+    fabric_capacity_gates:
+        Gate budget when ``use_area_slots`` is set; defaults to the largest
+        context (single-context equivalent) — pass more to host several.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional[Module] = None,
+        sim=None,
+        *,
+        contexts: Sequence[Context] = (),
+        context_builders: Sequence = (),
+        tech: "ReconfigTechnology",
+        config_burst_words: int = 64,
+        word_bytes: int = 4,
+        policy: Optional[ReplacementPolicy] = None,
+        use_area_slots: bool = False,
+        fabric_capacity_gates: Optional[int] = None,
+        config_cache_bytes: Optional[int] = None,
+        verify_config: bool = False,
+        max_fetch_retries: int = 2,
+    ) -> None:
+        super().__init__(name, parent=parent, sim=sim)
+        # The master port exists before context builders run so wrapped
+        # modules can chain their own master ports through it (the paper's
+        # `hwa->mst_port(mst_port)` line in the generated constructor).
+        self.mst_port = Port(self, BusMasterIf, name="mst_port")
+        contexts = list(contexts)
+        for builder in context_builders:
+            contexts.append(builder(self))
+        if not contexts:
+            raise SimulationError(f"DRCF {name} needs at least one context")
+        if not tech.is_reconfigurable:
+            raise SimulationError(
+                f"DRCF {name}: technology {tech.name!r} is not reconfigurable"
+            )
+        self._check_disjoint(contexts)
+        self.contexts: List[Context] = list(contexts)
+        self.tech = tech
+        self.config_burst_words = config_burst_words
+        self.word_bytes = word_bytes
+        # Integrity modeling: checksum every fetched bitstream against the
+        # context's expected value (fine-grain devices CRC each frame) and
+        # refetch on mismatch, up to max_fetch_retries extra attempts.
+        self.verify_config = verify_config
+        self.max_fetch_retries = max_fetch_retries
+        self.stats = DrcfStats([c.name for c in contexts])
+        # Optional on-chip bitstream cache (Chapter 2's "memories storing
+        # configurations" trade-off; see repro.core.cache).
+        if config_cache_bytes is not None:
+            from .cache import ConfigCache
+
+            self.config_cache: Optional["ConfigCache"] = ConfigCache(
+                config_cache_bytes, clock_freq_hz=tech.fabric_clock_hz
+            )
+        else:
+            self.config_cache = None
+        slot_manager = self._make_slot_manager(
+            tech, contexts, policy or LruPolicy(), use_area_slots, fabric_capacity_gates
+        )
+        self.scheduler = ContextScheduler(
+            self.sim,
+            f"{self.full_name}.scheduler",
+            contexts,
+            tech,
+            slot_manager,
+            self.stats,
+            self._fetch_config,
+            word_bytes,
+        )
+        self._fabric_lock = Mutex(self.sim, f"{self.full_name}.fabric_lock")
+        # Waveform-traceable view of the active context: 0 = none, i+1 =
+        # contexts[i].  Register with a VcdTracer to see the context
+        # schedule in a waveform viewer (width = 8 covers 255 contexts).
+        self.active_context_signal: Signal[int] = Signal(
+            self.sim, 0, name=f"{self.full_name}.active_context"
+        )
+        self._context_ids = {c.name: i + 1 for i, c in enumerate(self.contexts)}
+        self.scheduler.switch_listeners.append(
+            lambda name: self.active_context_signal.write(self._context_ids[name])
+        )
+        # Wrapped modules that compute asynchronously (own thread between a
+        # START write and a STATUS poll) report their in-fabric execution
+        # intervals through this sink, so step-5 instrumentation covers them.
+        for context in self.contexts:
+            if hasattr(context.module, "compute_sink"):
+                context.module.compute_sink = self._make_compute_sink(context.name)
+
+    def _make_compute_sink(self, context_name: str):
+        def sink(start, end):
+            self.stats.record_compute(context_name, start, end)
+
+        return sink
+
+    @staticmethod
+    def _check_disjoint(contexts: Sequence[Context]) -> None:
+        ranges = sorted((c.low_addr, c.high_addr, c.name) for c in contexts)
+        for (lo1, hi1, n1), (lo2, hi2, n2) in zip(ranges, ranges[1:]):
+            if hi1 >= lo2:
+                raise SimulationError(
+                    f"contexts {n1!r} and {n2!r} have overlapping address ranges"
+                )
+
+    @staticmethod
+    def _make_slot_manager(
+        tech: "ReconfigTechnology",
+        contexts: Sequence[Context],
+        policy: ReplacementPolicy,
+        use_area_slots: bool,
+        capacity: Optional[int],
+    ) -> SlotManager:
+        if use_area_slots:
+            if not tech.partial_reconfig:
+                raise SimulationError(
+                    f"technology {tech.name!r} does not support partial "
+                    "reconfiguration (area slots)"
+                )
+            budget = capacity if capacity is not None else max(c.gates for c in contexts)
+            return AreaSlotManager(budget, policy)
+        return FixedSlotManager(tech.context_slots, policy)
+
+    # -- BusSlaveIf: the union range ----------------------------------------------
+    def get_low_add(self) -> int:
+        return min(c.low_addr for c in self.contexts)
+
+    def get_high_add(self) -> int:
+        return max(c.high_addr for c in self.contexts)
+
+    def _decode(self, addr: int) -> Context:
+        """Step 1: which context is this interface call targeted to?"""
+        for context in self.contexts:
+            if context.decodes(addr):
+                return context
+        raise SimulationError(
+            f"{self.full_name}: address {addr:#x} inside the DRCF range but "
+            "not decoded by any context (holes between contexts are not served)"
+        )
+
+    # -- the routed interface methods ------------------------------------------------
+    def read(self, addr: int, count: int = 1):
+        """Slave read: decode, switch if needed, forward (generator)."""
+        result = yield from self._routed_call("read", addr, count, None)
+        return result
+
+    def write(self, addr: int, data: Union[int, Sequence[int]]):
+        """Slave write: decode, switch if needed, forward (generator)."""
+        yield from self._routed_call("write", addr, None, data)
+        return True
+
+    def _routed_call(self, kind: str, addr: int, count, data):
+        context = self._decode(addr)
+        yield from self._fabric_lock.lock(context.name)
+        try:
+            yield from self.scheduler.ensure_active(context)
+            start = self.sim.now
+            if kind == "read":
+                result = yield from context.module.read(addr, count)
+            else:
+                result = yield from context.module.write(addr, data)
+            self.stats.record_active(context.name, start, self.sim.now)
+            return result
+        finally:
+            self._fabric_lock.unlock()
+
+    # -- configuration fetch (the modeled memory traffic) --------------------------------
+    def _fetch_config(self, config_addr: int, n_words: int, context_name: str):
+        """Read a bitstream from configuration memory in bursts (generator).
+
+        Returns the number of words actually fetched over the bus (0 when
+        the on-chip bitstream cache hit; the configuration-port programming
+        time still applies, charged by the scheduler).
+        """
+        size_bytes = n_words * self.word_bytes
+        if self.config_cache is not None and self.config_cache.lookup(context_name):
+            yield self.config_cache.refill_time(size_bytes)
+            return 0
+        expected = (
+            self._context_by_name(context_name).params.checksum
+            if self.verify_config
+            else None
+        )
+        attempts = 0
+        total_fetched = 0
+        while True:
+            bitstream: List[int] = []
+            remaining = n_words
+            addr = config_addr
+            while remaining > 0:
+                chunk = min(self.config_burst_words, remaining)
+                data = yield from self.mst_port.read(
+                    addr,
+                    chunk,
+                    master=self.full_name,
+                    tags=["config", context_name],
+                )
+                bitstream.extend(data)
+                addr += chunk * self.word_bytes
+                remaining -= chunk
+            total_fetched += n_words
+            if expected is None:
+                break
+            if region_checksum(bitstream) == expected:
+                break
+            attempts += 1
+            self.stats.record_config_retry(context_name)
+            if attempts > self.max_fetch_retries:
+                raise SimulationError(
+                    f"{self.full_name}: bitstream of context {context_name!r} "
+                    f"failed its checksum {attempts} times (persistent "
+                    "configuration-memory corruption?)"
+                )
+        if self.config_cache is not None:
+            self.config_cache.insert(context_name, size_bytes)
+        return total_fetched
+
+    # -- prefetch hooks -----------------------------------------------------------------
+    def prefetch(self, context_name: str) -> Optional[Event]:
+        """Request a background load of the named context (if supported)."""
+        return self.scheduler.request_prefetch(self._context_by_name(context_name))
+
+    def _context_by_name(self, name: str) -> Context:
+        for context in self.contexts:
+            if context.name == name:
+                return context
+        raise KeyError(
+            f"{self.full_name}: no context named {name!r}; "
+            f"contexts: {[c.name for c in self.contexts]}"
+        )
+
+    # -- introspection ---------------------------------------------------------------------
+    @property
+    def active_context_name(self) -> Optional[str]:
+        """Name of the active context (None before the first switch)."""
+        return self.scheduler.active.name if self.scheduler.active else None
+
+    def resident_context_names(self) -> List[str]:
+        return self.scheduler.resident_context_names()
+
+    def largest_context_gates(self) -> int:
+        """Resource requirement of the largest context (Section 5.5 issue 2)."""
+        return max(c.gates for c in self.contexts)
+
+    def total_config_bytes(self) -> int:
+        """Configuration memory footprint of all contexts."""
+        return sum(c.params.size_bytes for c in self.contexts)
+
+    def __repr__(self) -> str:
+        names = ",".join(c.name for c in self.contexts)
+        return f"Drcf({self.full_name!r}, tech={self.tech.name}, contexts=[{names}])"

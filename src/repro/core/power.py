@@ -1,0 +1,122 @@
+"""Power and energy accounting (paper Section 5.3 future work).
+
+"In the future, other parameter, such as dealing with partial
+reconfiguration or power consumption may be devised."  This module
+implements the power extension: it combines the DRCF's instrumented
+per-context time breakdown with the technology's power coefficients into a
+per-context and total energy report.
+
+Energy model (per context ``c`` over the observation window):
+
+* *active*: ``P_active(gates_c) × active_time_c``
+* *reconfiguration*: ``P_config × reconfig_time_c``
+* *idle/static*: the fabric leaks whenever instantiated —
+  ``P_idle(fabric_gates) × window``.
+
+For the static Figure 1(a) architecture the same model applies with zero
+reconfiguration energy but leakage on the *sum* of all accelerator gates
+instead of the largest context — that asymmetry is the energy argument for
+fabric sharing that experiment A4 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..kernel import SimTime, ZERO_TIME
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tech import ReconfigTechnology
+    from .context import Context
+    from .drcf import Drcf
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (in joules) of one context or one whole fabric."""
+
+    active_j: float = 0.0
+    reconfig_j: float = 0.0
+    idle_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.reconfig_j + self.idle_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.active_j + other.active_j,
+            self.reconfig_j + other.reconfig_j,
+            self.idle_j + other.idle_j,
+        )
+
+
+class PowerModel:
+    """Computes energy reports from DRCF instrumentation."""
+
+    def __init__(self, tech: "ReconfigTechnology") -> None:
+        self.tech = tech
+
+    # -- per-piece energies --------------------------------------------------
+    def active_energy(self, gates: int, duration: SimTime) -> float:
+        return self.tech.active_energy_j(gates, duration)
+
+    def reconfig_energy(self, duration: SimTime) -> float:
+        return self.tech.config_energy_j(duration)
+
+    def idle_energy(self, gates: int, window: SimTime) -> float:
+        return self.tech.idle_power_w(gates) * window.to_seconds()
+
+    # -- reports -----------------------------------------------------------------
+    def drcf_report(
+        self, drcf: "Drcf", window: Optional[SimTime] = None
+    ) -> Dict[str, EnergyBreakdown]:
+        """Per-context energy breakdown for a DRCF, plus a ``__fabric__`` row.
+
+        ``window`` defaults to the instrumented observation window; the
+        fabric leakage row charges the largest context's gates (the fabric
+        must be big enough to host it) for the whole window.
+        """
+        stats = drcf.stats
+        window = window if window is not None else stats.observation_window()
+        report: Dict[str, EnergyBreakdown] = {}
+        for context in drcf.contexts:
+            cs = stats.context(context.name)
+            report[context.name] = EnergyBreakdown(
+                active_j=self.active_energy(context.gates, cs.active_time),
+                reconfig_j=self.reconfig_energy(cs.reconfig_time),
+                idle_j=0.0,
+            )
+        fabric_gates = drcf.largest_context_gates()
+        report["__fabric__"] = EnergyBreakdown(
+            idle_j=self.idle_energy(fabric_gates, window)
+        )
+        return report
+
+    def drcf_total(self, drcf: "Drcf", window: Optional[SimTime] = None) -> EnergyBreakdown:
+        """Summed energy of a DRCF over the window."""
+        total = EnergyBreakdown()
+        for part in self.drcf_report(drcf, window).values():
+            total = total + part
+        return total
+
+    def static_accelerators_total(
+        self,
+        contexts: List["Context"],
+        active_times: Dict[str, SimTime],
+        window: SimTime,
+    ) -> EnergyBreakdown:
+        """Energy of the Figure 1(a) alternative: one fixed block per context.
+
+        Every block leaks for the whole window; active energy uses each
+        block's own gates; there is no reconfiguration term.
+        """
+        total = EnergyBreakdown()
+        for context in contexts:
+            active = active_times.get(context.name, ZERO_TIME)
+            total = total + EnergyBreakdown(
+                active_j=self.active_energy(context.gates, active),
+                idle_j=self.idle_energy(context.gates, window),
+            )
+        return total

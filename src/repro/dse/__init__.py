@@ -1,0 +1,52 @@
+"""Design-space exploration.
+
+Parameter spaces and sweeps (:mod:`space`, :mod:`explorer`,
+:mod:`evaluators`), Pareto/crossover analysis (:mod:`pareto`), text/CSV
+reports (:mod:`report`), the Section 5.1 partitioning rules
+(:mod:`partition`) and the full ADRIATIC flow of Figure 3 (:mod:`flow`).
+"""
+
+from .evaluators import DEFAULT_ACCELS, evaluate_architecture, make_jobs
+from .explorer import DsePoint, Explorer, best_point
+from .flow import AdriaticFlow, FlowResult, StageRun
+from .pareto import Objective, crossover_point, dominates, pareto_front
+from .partition import (
+    BlockProfile,
+    PartitionRecommendation,
+    profiles_from_run,
+    recommend_candidates,
+)
+from .report import (
+    format_points,
+    format_table,
+    points_to_rows,
+    to_csv,
+    write_csv,
+)
+from .space import ParameterSpace
+
+__all__ = [
+    "AdriaticFlow",
+    "BlockProfile",
+    "DEFAULT_ACCELS",
+    "DsePoint",
+    "Explorer",
+    "FlowResult",
+    "Objective",
+    "ParameterSpace",
+    "PartitionRecommendation",
+    "StageRun",
+    "best_point",
+    "crossover_point",
+    "dominates",
+    "evaluate_architecture",
+    "format_points",
+    "format_table",
+    "make_jobs",
+    "pareto_front",
+    "points_to_rows",
+    "profiles_from_run",
+    "recommend_candidates",
+    "to_csv",
+    "write_csv",
+]

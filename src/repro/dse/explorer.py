@@ -1,0 +1,70 @@
+"""The design-space exploration driver.
+
+Evaluates every point of a :class:`~repro.dse.space.ParameterSpace` with an
+evaluator function (typically
+:func:`~repro.dse.evaluators.evaluate_architecture`), collecting
+:class:`DsePoint` records.  Each point builds a fresh simulator, so points
+are fully independent and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .space import ParameterSpace
+
+
+@dataclass
+class DsePoint:
+    """One evaluated design point: parameters in, metrics out."""
+
+    params: Dict[str, object]
+    metrics: Dict[str, object]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def get(self, key: str, default=None):
+        """Look up ``key`` in metrics, falling back to params."""
+        if key in self.metrics:
+            return self.metrics[key]
+        return self.params.get(key, default)
+
+
+class Explorer:
+    """Runs an evaluator over a parameter space."""
+
+    def __init__(
+        self,
+        evaluate: Callable[[Dict[str, object]], Dict[str, object]],
+        *,
+        raise_on_error: bool = True,
+    ) -> None:
+        self.evaluate = evaluate
+        self.raise_on_error = raise_on_error
+
+    def run(self, space: ParameterSpace) -> List[DsePoint]:
+        """Evaluate every point; returns records in enumeration order."""
+        points: List[DsePoint] = []
+        for params in space.points():
+            try:
+                metrics = self.evaluate(params)
+                points.append(DsePoint(params=params, metrics=metrics))
+            except Exception as exc:
+                if self.raise_on_error:
+                    raise
+                points.append(
+                    DsePoint(params=params, metrics={}, error=f"{type(exc).__name__}: {exc}")
+                )
+        return points
+
+
+def best_point(points: List[DsePoint], metric: str, minimize: bool = True) -> DsePoint:
+    """The point optimizing one metric (ignoring failed points)."""
+    ok = [p for p in points if p.ok]
+    if not ok:
+        raise ValueError("no successful design points")
+    return min(ok, key=lambda p: p.metrics[metric] if minimize else -p.metrics[metric])

@@ -1,0 +1,197 @@
+"""The ADRIATIC design flow (paper Figure 3).
+
+Orchestrates the system-level stages of the flow on a concrete design:
+
+1. **System specification** — the executable specification: golden outputs
+   of the workload, doubling as the test bench for every later stage.
+2. **Architecture definition** — the Figure 1(a) architecture template.
+3. **System partitioning** — profile the baseline run and apply the
+   Section 5.1 rules of thumb to pick DRCF candidates.
+4. **Mapping** — the DRCF transformation against a technology preset.
+5. **System-level simulation** — run both architectures on the workload
+   and collect the comparison metrics.
+6. **Specification refinement / back-annotation** — re-run with refined
+   per-context reconfiguration delays (e.g. numbers returned by back-end
+   tools) and report the delta.
+
+Each stage's artifact is kept on the :class:`FlowResult` so benches,
+examples and documentation can show the full flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..apps import (
+    JobRunner,
+    frame_interleaved_jobs,
+    golden_outputs,
+    make_baseline_netlist,
+)
+from ..apps.soc import ACCELERATOR_CLASSES, SocInfo, accelerator_gate_counts
+from ..core import Netlist, TransformResult, transform_to_drcf
+from ..kernel import SimTime, SimulationError, Simulator
+from ..tech import ReconfigTechnology
+from .partition import (
+    BlockProfile,
+    PartitionRecommendation,
+    profiles_from_run,
+    recommend_candidates,
+)
+
+
+@dataclass
+class StageRun:
+    """Metrics of one simulated architecture."""
+
+    makespan_us: float
+    bus_config_words: int
+    bus_data_words: int
+    switches: int
+    reconfig_time_us: float
+    outputs_match_spec: bool
+
+
+@dataclass
+class FlowResult:
+    """Artifacts of a full flow execution, stage by stage."""
+
+    golden: Dict[str, List[int]]
+    baseline_netlist: Netlist
+    profiles: List[BlockProfile]
+    recommendation: PartitionRecommendation
+    transform: Optional[TransformResult]
+    baseline_run: StageRun
+    mapped_run: Optional[StageRun]
+    back_annotated_run: Optional[StageRun] = None
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Comparison rows for the flow report."""
+        rows = [dict(architecture="figure-1a baseline", **vars(self.baseline_run))]
+        if self.mapped_run:
+            rows.append(dict(architecture="figure-1b mapped", **vars(self.mapped_run)))
+        if self.back_annotated_run:
+            rows.append(
+                dict(architecture="back-annotated", **vars(self.back_annotated_run))
+            )
+        return rows
+
+
+class AdriaticFlow:
+    """Executes the Figure 3 flow on a chosen application and technology."""
+
+    def __init__(
+        self,
+        accels: Sequence[str] = ("fir", "fft", "viterbi", "xtea"),
+        *,
+        tech: ReconfigTechnology,
+        n_frames: int = 2,
+        seed: int = 42,
+        designer_flags: Optional[Dict[str, Dict[str, bool]]] = None,
+    ) -> None:
+        unknown = [a for a in accels if a not in ACCELERATOR_CLASSES]
+        if unknown:
+            raise KeyError(f"unknown accelerators {unknown}")
+        self.accels = tuple(accels)
+        self.tech = tech
+        self.n_frames = n_frames
+        self.seed = seed
+        self.designer_flags = designer_flags or {}
+
+    # -- stage helpers -----------------------------------------------------
+    def _run_architecture(self, netlist: Netlist, info: SocInfo, jobs) -> StageRun:
+        sim = Simulator()
+        design = netlist.elaborate(sim)
+        runner = JobRunner(info.accel_bases, info.buffer_words)
+        design[info.cpu_name].run_task(runner.task(jobs), name="workload")
+        sim.run()
+        if len(runner.results) != len(jobs):
+            raise SimulationError("flow run incomplete")
+        matches = all(r.outputs == golden_outputs(r.spec) for r in runner.results)
+        bus = design[info.bus_name]
+        if info.drcf_name and info.drcf_name in design:
+            stats = design[info.drcf_name].stats.summary()
+            switches = int(stats["switches"])
+            reconfig_us = float(stats["reconfig_time_ns"]) / 1e3
+        else:
+            switches, reconfig_us = 0, 0.0
+        self._last_design = design  # kept for profiling access
+        return StageRun(
+            makespan_us=max(r.end_ns for r in runner.results) / 1e3,
+            bus_config_words=bus.monitor.words_by_tag("config"),
+            bus_data_words=bus.monitor.words_without_tag("config"),
+            switches=switches,
+            reconfig_time_us=reconfig_us,
+            outputs_match_spec=matches,
+        )
+
+    def run(self, *, back_annotate_scale: Optional[float] = None) -> FlowResult:
+        """Execute all stages; optionally re-run with scaled reconfig delays.
+
+        ``back_annotate_scale`` multiplies every context's extra delay, as
+        if refined numbers came back from the back-end tools.
+        """
+        # Stage 1: executable specification.
+        jobs = frame_interleaved_jobs(self.accels, self.n_frames, seed=self.seed)
+        golden = {job.label: golden_outputs(job) for job in jobs}
+
+        # Stage 2: architecture template (Figure 1a).
+        baseline, info = make_baseline_netlist(self.accels)
+
+        # Stage 5a: simulate the baseline (also the profiling run).
+        baseline_run = self._run_architecture(baseline, info, jobs)
+        design = self._last_design
+        window_ns = baseline_run.makespan_us * 1e3
+        gates = accelerator_gate_counts(self.accels)
+        accel_stats = {
+            name: (gates[name], design[name].total_compute_time.to_ns())
+            for name in self.accels
+        }
+
+        # Stage 3: partitioning by the rules of thumb.
+        profiles = profiles_from_run(accel_stats, window_ns, flags=self.designer_flags)
+        recommendation = recommend_candidates(profiles)
+
+        transform: Optional[TransformResult] = None
+        mapped_run: Optional[StageRun] = None
+        back_run: Optional[StageRun] = None
+        if recommendation.candidates:
+            # Stage 4: mapping — fold the recommended candidates.
+            transform = transform_to_drcf(
+                baseline,
+                recommendation.candidates,
+                tech=self.tech,
+                config_memory=info.config_memory_name,
+                config_base=info.cfg_base,
+            )
+            info.drcf_name = transform.report.drcf_name
+            # Stage 5b: simulate the mapped architecture.
+            mapped_run = self._run_architecture(transform.netlist, info, jobs)
+
+            # Stage 6: back-annotation.
+            if back_annotate_scale is not None:
+                extra = {
+                    alloc.name: alloc.extra_delay * back_annotate_scale
+                    for alloc in transform.report.allocations
+                }
+                refined = transform_to_drcf(
+                    baseline,
+                    recommendation.candidates,
+                    tech=self.tech,
+                    config_memory=info.config_memory_name,
+                    config_base=info.cfg_base,
+                    extra_delays=extra,
+                )
+                back_run = self._run_architecture(refined.netlist, info, jobs)
+
+        return FlowResult(
+            golden=golden,
+            baseline_netlist=baseline,
+            profiles=profiles,
+            recommendation=recommendation,
+            transform=transform,
+            baseline_run=baseline_run,
+            mapped_run=mapped_run,
+            back_annotated_run=back_run,
+        )

@@ -1,0 +1,144 @@
+"""Partitioning heuristics (paper Section 5.1 "rules of thumb").
+
+The paper declines to automate partitioning (deferring to ref [5]) but
+states three rules of thumb a designer can apply without compilation/
+profiling tooling:
+
+1. "If the application has several roughly same sized hardware
+   accelerators that are not used in the same time or at their full
+   capacity, a dynamically reconfigurable block may be a more optimized
+   solution than a hardwired logic block."
+2. "If the application has some parts in which specification changes are
+   foreseeable, the implementation choice may be reconfigurable hardware."
+3. "If there are foreseeable plans for new generations of application, the
+   parts that will change should be implemented with reconfigurable
+   hardware."
+
+:func:`recommend_candidates` encodes them over per-block profiles, which
+can be measured (:func:`profiles_from_run`) from a baseline simulation —
+the profiling-driven arm of the ADRIATIC flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class BlockProfile:
+    """Per-functional-block facts feeding the partitioning rules."""
+
+    name: str
+    gates: int
+    #: Fraction of total time the block was computing (from profiling).
+    utilization: float
+    #: Peak fraction of blocks in this group active simultaneously —
+    #: 0 means strictly time-multiplexed use.
+    concurrency: float = 0.0
+    #: Rule 2 flag: standard/spec changes foreseeable.
+    spec_change_expected: bool = False
+    #: Rule 3 flag: block will change in next product generation.
+    next_generation_planned: bool = False
+
+
+@dataclass
+class PartitionRecommendation:
+    """The designer-facing outcome of applying the rules of thumb."""
+
+    candidates: List[str]
+    rationale: Dict[str, List[str]] = field(default_factory=dict)
+    rejected: Dict[str, str] = field(default_factory=dict)
+
+    def reason(self, name: str) -> List[str]:
+        return self.rationale.get(name, [])
+
+
+def recommend_candidates(
+    profiles: Sequence[BlockProfile],
+    *,
+    size_ratio_limit: float = 4.0,
+    utilization_limit: float = 0.5,
+    concurrency_limit: float = 0.1,
+) -> PartitionRecommendation:
+    """Apply the three rules of thumb to block profiles.
+
+    Rule 1 requires at least two blocks of comparable size (within
+    ``size_ratio_limit``), each under ``utilization_limit`` busy and with
+    concurrency below ``concurrency_limit``.  Rules 2–3 are flag-driven
+    and independent of sizing.
+    """
+    rationale: Dict[str, List[str]] = {p.name: [] for p in profiles}
+    rejected: Dict[str, str] = {}
+
+    # Rule 1: find the largest group of same-sized, time-multiplexed,
+    # under-utilized blocks.
+    eligible = [
+        p
+        for p in profiles
+        if p.utilization <= utilization_limit and p.concurrency <= concurrency_limit
+    ]
+    rule1_group: List[BlockProfile] = []
+    for anchor in eligible:
+        group = [
+            p
+            for p in eligible
+            if max(p.gates, anchor.gates) <= size_ratio_limit * min(p.gates, anchor.gates)
+        ]
+        if len(group) > len(rule1_group):
+            rule1_group = group
+    if len(rule1_group) >= 2:
+        for p in rule1_group:
+            rationale[p.name].append(
+                "rule1: same-sized accelerators not used at the same time "
+                f"(utilization {p.utilization:.0%}, concurrency {p.concurrency:.0%})"
+            )
+
+    for p in profiles:
+        if p.spec_change_expected:
+            rationale[p.name].append("rule2: specification changes foreseeable")
+        if p.next_generation_planned:
+            rationale[p.name].append("rule3: next product generation planned")
+
+    candidates = [p.name for p in profiles if rationale[p.name]]
+    for p in profiles:
+        if not rationale[p.name]:
+            if p.utilization > utilization_limit:
+                rejected[p.name] = f"utilization {p.utilization:.0%} too high to share"
+            elif p.concurrency > concurrency_limit:
+                rejected[p.name] = f"runs concurrently with peers ({p.concurrency:.0%})"
+            else:
+                rejected[p.name] = "no rule matched (size mismatch with peers)"
+    return PartitionRecommendation(
+        candidates=candidates, rationale=rationale, rejected=rejected
+    )
+
+
+def profiles_from_run(
+    accel_stats: Dict[str, Tuple[int, float]],
+    window_ns: float,
+    *,
+    flags: Optional[Dict[str, Dict[str, bool]]] = None,
+) -> List[BlockProfile]:
+    """Build profiles from measured data.
+
+    ``accel_stats`` maps block name → (gates, busy_time_ns).  On the
+    single-CPU driver all invocations serialize, so measured concurrency is
+    zero; ``flags`` may add the rule 2/3 designer knowledge per block.
+    """
+    if window_ns <= 0:
+        raise ValueError("window must be positive")
+    out: List[BlockProfile] = []
+    for name, (gates, busy_ns) in accel_stats.items():
+        block_flags = (flags or {}).get(name, {})
+        out.append(
+            BlockProfile(
+                name=name,
+                gates=gates,
+                utilization=min(1.0, busy_ns / window_ns),
+                concurrency=0.0,
+                spec_change_expected=bool(block_flags.get("spec_change_expected", False)),
+                next_generation_planned=bool(block_flags.get("next_generation_planned", False)),
+            )
+        )
+    return out

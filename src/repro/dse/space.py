@@ -1,0 +1,75 @@
+"""Parameter spaces for design-space exploration.
+
+The paper's goal is "true design space exploration at the system-level,
+without the need to map the design first to an actual technology
+implementation": sweep the parameterized model over technologies, context
+parameters and memory organizations.  A :class:`ParameterSpace` is a set of
+named axes whose Cartesian product enumerates deterministic design points.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+class ParameterSpace:
+    """Named axes of discrete values, iterated in declaration order."""
+
+    def __init__(self) -> None:
+        self._axes: List[Tuple[str, List[object]]] = []
+
+    def add_axis(self, name: str, values: Sequence[object]) -> "ParameterSpace":
+        """Add an axis; returns self for chaining."""
+        if not values:
+            raise ValueError(f"axis {name!r} needs at least one value")
+        if any(name == existing for existing, _ in self._axes):
+            raise ValueError(f"duplicate axis {name!r}")
+        self._axes.append((name, list(values)))
+        return self
+
+    @property
+    def axis_names(self) -> List[str]:
+        return [name for name, _ in self._axes]
+
+    @property
+    def size(self) -> int:
+        """Number of design points in the full product."""
+        size = 1
+        for _, values in self._axes:
+            size *= len(values)
+        return size
+
+    def points(self) -> Iterator[Dict[str, object]]:
+        """Iterate design points as dictionaries, in lexicographic order."""
+        names = [name for name, _ in self._axes]
+        for combo in itertools.product(*(values for _, values in self._axes)):
+            yield dict(zip(names, combo))
+
+    def sample(self, n: int, seed: int = 1) -> List[Dict[str, object]]:
+        """``n`` distinct design points drawn uniformly (budgeted DSE).
+
+        Deterministic for a given seed; returns the full space when ``n``
+        meets or exceeds its size.
+        """
+        if n <= 0:
+            raise ValueError("sample size must be positive")
+        if n >= self.size:
+            return list(self.points())
+        rng = random.Random(seed)
+        chosen = sorted(rng.sample(range(self.size), n))
+        out: List[Dict[str, object]] = []
+        it = iter(enumerate(self.points()))
+        for target in chosen:
+            for index, point in it:
+                if index == target:
+                    out.append(point)
+                    break
+        return out
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return self.points()

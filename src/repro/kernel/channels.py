@@ -1,0 +1,174 @@
+"""Blocking channels: FIFO, mutex and semaphore.
+
+These are the ``sc_fifo`` / ``sc_mutex`` / ``sc_semaphore`` analogues.  All
+blocking operations are generator methods used with ``yield from`` inside
+thread processes::
+
+    yield from fifo.put(item)
+    item = yield from fifo.get()
+    yield from mutex.lock()
+    ...
+    mutex.unlock()
+
+The mutex records its current owner process name, which the deadlock
+analyzer uses to reconstruct wait-for chains (paper Section 5.4,
+limitation 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generic, List, Optional, TypeVar
+
+from .errors import SimulationError
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import Simulator
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """A bounded FIFO with blocking put/get.
+
+    ``capacity=None`` gives an unbounded FIFO (put never blocks).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = 16, name: str = "fifo") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("fifo capacity must be positive or None")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._data_written = Event(sim, f"{name}.data_written")
+        self._data_read = Event(sim, f"{name}.data_read")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def nb_put(self, item: T) -> bool:
+        """Non-blocking put; returns False when full."""
+        if self.is_full:
+            return False
+        self._items.append(item)
+        self._data_written.notify_delta()
+        return True
+
+    def nb_get(self) -> Optional[T]:
+        """Non-blocking get; returns None when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._data_read.notify_delta()
+        return item
+
+    def put(self, item: T):
+        """Blocking put (generator; use with ``yield from``)."""
+        while self.is_full:
+            yield self._data_read
+        self._items.append(item)
+        self._data_written.notify_delta()
+
+    def get(self):
+        """Blocking get (generator; use with ``yield from``). Returns the item."""
+        while not self._items:
+            yield self._data_written
+        item = self._items.popleft()
+        self._data_read.notify_delta()
+        return item
+
+
+class Mutex:
+    """A mutual-exclusion lock with FIFO granting and owner tracking."""
+
+    def __init__(self, sim: "Simulator", name: str = "mutex") -> None:
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        #: Name of the owning process/agent (caller-supplied label).
+        self.owner: Optional[str] = None
+        self._released = Event(sim, f"{name}.released")
+        self._wait_queue: List[str] = []
+        self.contention_count = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    @property
+    def waiters(self) -> List[str]:
+        """Labels of agents currently queued for the lock."""
+        return list(self._wait_queue)
+
+    def try_lock(self, owner: str = "?") -> bool:
+        """Non-blocking acquire."""
+        if self._locked:
+            return False
+        self._locked = True
+        self.owner = owner
+        return True
+
+    def lock(self, owner: str = "?"):
+        """Blocking acquire (generator; use with ``yield from``)."""
+        if self._locked:
+            self.contention_count += 1
+            self._wait_queue.append(owner)
+            try:
+                while self._locked:
+                    yield self._released
+            finally:
+                self._wait_queue.remove(owner)
+        self._locked = True
+        self.owner = owner
+
+    def unlock(self) -> None:
+        """Release; the longest-waiting blocked acquirer wins the next grab."""
+        if not self._locked:
+            raise SimulationError(f"mutex {self.name} unlocked while not locked")
+        self._locked = False
+        self.owner = None
+        self._released.notify()  # immediate: FIFO of waiters resumes in order
+
+
+class Semaphore:
+    """A counting semaphore with blocking wait."""
+
+    def __init__(self, sim: "Simulator", initial: int, name: str = "semaphore") -> None:
+        if initial < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._count = initial
+        self._posted = Event(sim, f"{name}.posted")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def try_wait(self) -> bool:
+        """Non-blocking decrement."""
+        if self._count <= 0:
+            return False
+        self._count -= 1
+        return True
+
+    def wait(self):
+        """Blocking decrement (generator; use with ``yield from``)."""
+        while self._count <= 0:
+            yield self._posted
+        self._count -= 1
+
+    def post(self) -> None:
+        """Increment and wake one waiter."""
+        self._count += 1
+        self._posted.notify()

@@ -1,0 +1,161 @@
+"""Events and notification semantics.
+
+Implements the SystemC 2.0 notification model:
+
+* ``notify()`` — *immediate*: waiting processes become runnable in the
+  current evaluation phase.
+* ``notify(ZERO_TIME)`` — *delta*: waiting processes become runnable in the
+  next delta cycle (after the update phase).
+* ``notify(t)`` with ``t > 0`` — *timed*: waiting processes become runnable
+  when simulated time has advanced by ``t``.
+
+An event carries at most one pending notification.  A pending notification
+is only replaced by an *earlier* one: immediate overrides delta and timed,
+delta overrides timed, and an earlier timed notification overrides a later
+one.  ``cancel()`` removes any pending delta/timed notification.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .errors import SchedulingError
+from .simtime import SimTime, ZERO_TIME
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .process import Process, WaitHandle
+    from .simulator import Simulator, TimedAction
+
+
+class Event:
+    """A synchronization primitive processes can wait on.
+
+    Two kinds of waiters exist, mirroring SystemC:
+
+    * *static* waiters — processes whose sensitivity list includes this
+      event; they are notified on every trigger and never disarm.
+    * *dynamic* waiters — suspended processes whose current ``yield``
+      references this event; they disarm once resumed.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "event") -> None:
+        self.sim = sim
+        self.name = name
+        self._static_waiters: List["Process"] = []
+        self._dynamic_waiters: List["WaitHandle"] = []
+        # Pending notification: None, the string "delta", or a TimedAction.
+        self._pending = None  # type: Optional[object]
+        self._trigger_count = 0
+        self._last_trigger_time: Optional[SimTime] = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def trigger_count(self) -> int:
+        """Number of times this event has fired since construction."""
+        return self._trigger_count
+
+    @property
+    def last_trigger_time(self) -> Optional[SimTime]:
+        """Simulation time of the most recent trigger, or ``None``."""
+        return self._last_trigger_time
+
+    def has_waiters(self) -> bool:
+        """True if any process is statically or dynamically waiting."""
+        return bool(self._static_waiters or self._dynamic_waiters)
+
+    # -- waiter management (kernel internal) -------------------------------
+    def _add_static(self, process: "Process") -> None:
+        if process not in self._static_waiters:
+            self._static_waiters.append(process)
+
+    def _remove_static(self, process: "Process") -> None:
+        if process in self._static_waiters:
+            self._static_waiters.remove(process)
+
+    def _add_dynamic(self, handle: "WaitHandle") -> None:
+        self._dynamic_waiters.append(handle)
+
+    def _remove_dynamic(self, handle: "WaitHandle") -> None:
+        if handle in self._dynamic_waiters:
+            self._dynamic_waiters.remove(handle)
+
+    # -- notification --------------------------------------------------------
+    def notify(self, delay: Optional[SimTime] = None) -> None:
+        """Notify the event.
+
+        ``delay=None`` requests immediate notification, ``ZERO_TIME`` a
+        delta notification, any positive :class:`SimTime` a timed one.
+        """
+        if delay is None:
+            self._notify_immediate()
+        elif not isinstance(delay, SimTime):
+            raise SchedulingError(
+                f"notify() delay must be a SimTime or None, got {type(delay).__name__}"
+            )
+        elif delay == ZERO_TIME:
+            self.notify_delta()
+        else:
+            self._notify_timed(delay)
+
+    def _notify_immediate(self) -> None:
+        self._cancel_pending()
+        self._trigger()
+
+    def notify_delta(self) -> None:
+        """Schedule a delta notification (unless an equal/earlier one pends)."""
+        if self._pending == "delta":
+            return
+        # Delta overrides timed.
+        self._cancel_pending()
+        self._pending = "delta"
+        self.sim._queue_delta_event(self)
+
+    def _notify_timed(self, delay: SimTime) -> None:
+        target_fs = self.sim._now_fs + delay.femtoseconds
+        pending = self._pending
+        if pending == "delta":
+            return  # delta is earlier than any timed notification
+        if pending is not None:
+            # pending is a TimedAction
+            if pending.time_fs <= target_fs:  # type: ignore[attr-defined]
+                return
+            pending.cancel()  # type: ignore[attr-defined]
+            self._pending = None
+        action = self.sim._schedule_timed_fs(target_fs, self._timed_fire)
+        self._pending = action
+
+    def cancel(self) -> None:
+        """Cancel any pending delta or timed notification."""
+        self._cancel_pending()
+
+    def _cancel_pending(self) -> None:
+        pending = self._pending
+        if pending is None:
+            return
+        if pending == "delta":
+            self.sim._dequeue_delta_event(self)
+        else:
+            pending.cancel()  # type: ignore[attr-defined]
+        self._pending = None
+
+    # -- firing (called by the kernel) -----------------------------------------
+    def _timed_fire(self) -> None:
+        self._pending = None
+        self._trigger()
+
+    def _delta_fire(self) -> None:
+        self._pending = None
+        self._trigger()
+
+    def _trigger(self) -> None:
+        self._trigger_count += 1
+        self._last_trigger_time = self.sim.now
+        # Static waiters first (deterministic registration order), then
+        # dynamic.  Copy because handlers mutate the lists.
+        for process in list(self._static_waiters):
+            process._static_trigger(self)
+        for handle in list(self._dynamic_waiters):
+            handle.on_trigger(self)
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r})"

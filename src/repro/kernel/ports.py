@@ -1,0 +1,152 @@
+"""Ports, exports and interfaces (the ``sc_port`` / ``sc_interface`` analogue).
+
+An *interface* is an abstract base class of methods; a *channel* or module
+implements it.  A *port* is a typed hole in a module that is bound to an
+interface implementation during elaboration; the owning module calls the
+interface's methods through the port.  This is precisely the mechanism the
+paper's DRCF transformation manipulates: it reads a candidate module's ports
+and implemented interfaces, and re-creates them on the generated DRCF
+component.
+
+Method calls delegate through the port::
+
+    self.mst_port = Port(self, BusMasterIf, name="mst_port")
+    ...
+    data = yield from self.mst_port.read(addr)
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import TYPE_CHECKING, List, Optional, Type
+
+from .errors import BindingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .module import Module
+
+
+class Interface(ABC):
+    """Marker base class for all interfaces (``sc_interface``)."""
+
+
+def implemented_interfaces(obj: object) -> List[Type[Interface]]:
+    """All :class:`Interface` subclasses implemented by ``obj``'s class.
+
+    Returns the most-derived interface classes only (direct ABC bases are
+    filtered if a subclass of theirs is also present), in MRO order.  Used
+    by the DRCF transformation's module-analysis phase.
+    """
+    from .module import Module  # local import to avoid a cycle at import time
+
+    found: List[Type[Interface]] = []
+    for klass in type(obj).__mro__:
+        if (
+            issubclass(klass, Interface)
+            and klass is not Interface
+            and not issubclass(klass, Module)  # implementations are not interfaces
+            and klass not in found
+        ):
+            found.append(klass)
+    # Drop base interfaces that are superclasses of another found interface.
+    leaves = [
+        k for k in found if not any(other is not k and issubclass(other, k) for other in found)
+    ]
+    return leaves
+
+
+class Port:
+    """A typed, bindable reference to an interface implementation.
+
+    Parameters
+    ----------
+    owner:
+        The module the port belongs to.
+    iface:
+        Optional interface class the bound object must implement.
+    name:
+        Port name (used in diagnostics and by the transformation tool).
+    """
+
+    def __init__(
+        self,
+        owner: "Module",
+        iface: Optional[Type[Interface]] = None,
+        name: str = "port",
+    ) -> None:
+        self.owner = owner
+        self.iface = iface
+        self.name = name
+        self._bound: Optional[object] = None
+        if not hasattr(owner, "_ports"):
+            owner._ports = []  # type: ignore[attr-defined]
+        owner._ports.append(self)  # type: ignore[attr-defined]
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.owner.full_name}.{self.name}"
+
+    @property
+    def is_bound(self) -> bool:
+        return self._bound is not None
+
+    def bind(self, impl: object) -> None:
+        """Bind the port to ``impl`` (a channel, module or another port)."""
+        if self._bound is not None:
+            raise BindingError(f"port {self.full_name} is already bound")
+        if isinstance(impl, Port):
+            # Hierarchical binding: delegate to the other port's binding,
+            # resolved lazily at first access.
+            self._bound = impl
+            return
+        if self.iface is not None and not isinstance(impl, self.iface):
+            raise BindingError(
+                f"port {self.full_name} requires {self.iface.__name__}, "
+                f"got {type(impl).__name__}"
+            )
+        self._bound = impl
+
+    def unbind(self) -> None:
+        """Remove the current binding (used by model transformations)."""
+        self._bound = None
+
+    def resolve(self) -> object:
+        """The final interface implementation, following port-to-port chains."""
+        impl = self._bound
+        if impl is None:
+            raise BindingError(f"port {self.full_name} is not bound")
+        while isinstance(impl, Port):
+            if impl._bound is None:
+                raise BindingError(
+                    f"port {self.full_name} chains to unbound port {impl.full_name}"
+                )
+            impl = impl._bound
+        if self.iface is not None and not isinstance(impl, self.iface):
+            raise BindingError(
+                f"port {self.full_name} resolved to {type(impl).__name__}, "
+                f"which does not implement {self.iface.__name__}"
+            )
+        return impl
+
+    def __call__(self) -> object:
+        """SystemC-style access: ``port()`` returns the bound interface."""
+        return self.resolve()
+
+    def __getattr__(self, attr: str):
+        # Delegate interface-method access: ``port.read(...)``.
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        return getattr(self.resolve(), attr)
+
+    def __repr__(self) -> str:
+        target = "unbound" if self._bound is None else type(self._bound).__name__
+        iface = self.iface.__name__ if self.iface else "any"
+        return f"Port({self.full_name!r}, iface={iface}, bound={target})"
+
+
+def ports_of(module: "Module") -> List[Port]:
+    """All ports declared by ``module``, in declaration order.
+
+    This is the port half of the paper's module-analysis phase.
+    """
+    return list(getattr(module, "_ports", []))

@@ -1,0 +1,465 @@
+"""Processes: the SC_THREAD / SC_METHOD analogues.
+
+A *thread process* is a Python generator.  Each ``yield`` suspends the
+process on a *wait specification*; the kernel resumes it when the wait is
+satisfied.  Supported wait specifications:
+
+``SimTime``
+    Timeout: resume after the given duration (``yield ns(10)``).
+``Event``
+    Resume when the event fires.
+``AnyOf([...])``
+    Resume on the first of several events / a timeout.  ``yield`` returns
+    the triggering event, or :data:`TIMEOUT` on timeout.
+``AllOf([...])``
+    Resume once every listed event has fired at least once.
+``None``
+    Wait on the process's static sensitivity list.
+
+Blocking interface methods (TLM-style ``b_transport``) are themselves
+generators and are invoked with ``yield from``, composing transparently
+with this protocol.
+
+A *method process* is a plain callback invoked from the evaluation phase
+whenever one of its sensitivity events fires; it must not block.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Union
+
+from .errors import ProcessError, SchedulingError
+from .event import Event
+from .simtime import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import Simulator, TimedAction
+
+
+class _Timeout:
+    """Sentinel returned from a wait when an :class:`AnyOf` timeout fired."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "TIMEOUT"
+
+
+#: Returned by ``yield AnyOf(...)`` when the timeout fired first.
+TIMEOUT = _Timeout()
+
+
+class AnyOf:
+    """Wait for the first of several events, optionally bounded by a timeout.
+
+    ``yield AnyOf([e1, e2], timeout=ns(100))`` resumes with the event that
+    fired, or :data:`TIMEOUT` if the timeout expired first.
+    """
+
+    __slots__ = ("events", "timeout")
+
+    def __init__(self, events: Iterable[Event], timeout: Optional[SimTime] = None) -> None:
+        self.events: List[Event] = list(events)
+        self.timeout = timeout
+        if not self.events and timeout is None:
+            raise SchedulingError("AnyOf requires at least one event or a timeout")
+
+
+class AllOf:
+    """Wait until every listed event has fired at least once."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events: List[Event] = list(events)
+        if not self.events:
+            raise SchedulingError("AllOf requires at least one event")
+
+
+WaitSpec = Union[SimTime, Event, AnyOf, AllOf, None]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a process."""
+
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    WAITING = "waiting"
+    TERMINATED = "terminated"
+
+
+class WaitHandle:
+    """The kernel-side record of a suspended thread's current wait.
+
+    Arms itself on the referenced events (and a timeout, if any); on the
+    first satisfying trigger it disarms everything and schedules the owning
+    process runnable with the resume value.
+    """
+
+    __slots__ = ("process", "events", "pending_all", "timed_action", "active", "is_all")
+
+    def __init__(self, process: "ThreadProcess") -> None:
+        self.process = process
+        self.events: List[Event] = []
+        self.pending_all: List[Event] = []
+        self.timed_action: Optional["TimedAction"] = None
+        self.active = True
+        self.is_all = False
+
+    # -- arming ------------------------------------------------------------
+    def arm_events(self, events: Sequence[Event], *, all_of: bool = False) -> None:
+        self.is_all = all_of
+        for event in events:
+            event._add_dynamic(self)
+            self.events.append(event)
+        if all_of:
+            self.pending_all = list(events)
+
+    def arm_timeout(self, delay: SimTime) -> None:
+        sim = self.process.sim
+        self.timed_action = sim._schedule_timed_fs(
+            sim._now_fs + delay.femtoseconds, self._on_timeout
+        )
+
+    # -- triggering ---------------------------------------------------------
+    def on_trigger(self, event: Event) -> None:
+        if not self.active:
+            return
+        if self.is_all:
+            if event in self.pending_all:
+                self.pending_all.remove(event)
+                event._remove_dynamic(self)
+                self.events.remove(event)
+            if self.pending_all:
+                return
+            self._fire(event)
+        else:
+            self._fire(event)
+
+    def _on_timeout(self) -> None:
+        self.timed_action = None
+        if not self.active:
+            return
+        self._fire(TIMEOUT)
+
+    def _fire(self, value: object) -> None:
+        self.disarm()
+        self.process._schedule_resume(value)
+
+    def disarm(self) -> None:
+        """Detach from all events and cancel the timeout."""
+        self.active = False
+        for event in self.events:
+            event._remove_dynamic(self)
+        self.events.clear()
+        self.pending_all = []
+        if self.timed_action is not None:
+            self.timed_action.cancel()
+            self.timed_action = None
+
+
+class Process:
+    """Common behaviour of thread and method processes."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.state = ProcessState.CREATED
+        self.static_sensitivity: List[Event] = []
+        #: Daemon processes are expected to wait forever (server loops);
+        #: the deadlock analyzer ignores them.
+        self.daemon = False
+        #: Fires when the process terminates (normally or via kill()).
+        self.terminated_event = Event(sim, f"{name}.terminated")
+        #: Description of the current wait, for deadlock diagnosis.
+        self.wait_description: Optional[str] = None
+
+    @property
+    def terminated(self) -> bool:
+        return self.state is ProcessState.TERMINATED
+
+    def add_sensitivity(self, *events: Event) -> None:
+        """Extend the static sensitivity list."""
+        for event in events:
+            self.static_sensitivity.append(event)
+            event._add_static(self)
+
+    def _static_trigger(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _execute(self) -> None:
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Terminate the process without running it further."""
+        if self.state is ProcessState.TERMINATED:
+            return
+        self._terminate()
+
+    def _terminate(self) -> None:
+        self.state = ProcessState.TERMINATED
+        self.wait_description = None
+        for event in self.static_sensitivity:
+            event._remove_static(self)
+        self.sim._process_terminated(self)
+        self.terminated_event.notify_delta()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.state.value})"
+
+
+class ThreadProcess(Process):
+    """An SC_THREAD-style coroutine process.
+
+    ``fn`` is a zero-argument callable returning a generator (typically a
+    bound generator method of a module).  A non-generator callable is also
+    accepted and runs once to completion at start.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, fn: Callable[[], object]) -> None:
+        super().__init__(sim, name)
+        self._fn = fn
+        self._gen = None
+        self._handle: Optional[WaitHandle] = None
+        self._resume_value: object = None
+
+    def start(self) -> None:
+        """Make the process runnable for the first evaluation phase."""
+        if self.state is not ProcessState.CREATED:
+            return
+        self.state = ProcessState.READY
+        self.sim._make_runnable(self)
+
+    def _static_trigger(self, event: Event) -> None:
+        # Threads use static sensitivity only while suspended on `yield None`.
+        if self.state is ProcessState.WAITING and self._handle is None:
+            self._schedule_resume(event)
+
+    def _schedule_resume(self, value: object) -> None:
+        if self.state is ProcessState.TERMINATED:
+            return
+        self._resume_value = value
+        self._handle = None
+        self.state = ProcessState.READY
+        self.wait_description = None
+        self.sim._make_runnable(self)
+
+    def _execute(self) -> None:
+        if self.state is ProcessState.TERMINATED:
+            return
+        self.state = ProcessState.RUNNING
+        if self._gen is None:
+            result = self._fn()
+            if not hasattr(result, "send"):
+                # Plain callable: ran to completion already.
+                self._terminate()
+                return
+            self._gen = result
+            send_value = None
+        else:
+            send_value = self._resume_value
+            self._resume_value = None
+        try:
+            spec = self._gen.send(send_value)
+        except StopIteration:
+            self._terminate()
+            return
+        except Exception as exc:
+            self._terminate()
+            raise ProcessError(self.name, f"{type(exc).__name__}: {exc}") from exc
+        self._suspend_on(spec)
+
+    def _suspend_on(self, spec: WaitSpec) -> None:
+        self.state = ProcessState.WAITING
+        if spec is None:
+            if not self.static_sensitivity:
+                raise ProcessError(
+                    self.name, "yield None requires a static sensitivity list"
+                )
+            self._handle = None
+            self.wait_description = "static sensitivity"
+            return
+        handle = WaitHandle(self)
+        if isinstance(spec, SimTime):
+            handle.arm_timeout(spec)
+            self.wait_description = f"timeout {spec}"
+        elif isinstance(spec, Event):
+            handle.arm_events([spec])
+            self.wait_description = f"event {spec.name}"
+        elif isinstance(spec, AnyOf):
+            handle.arm_events(spec.events)
+            if spec.timeout is not None:
+                handle.arm_timeout(spec.timeout)
+            names = ", ".join(e.name for e in spec.events)
+            self.wait_description = f"any of [{names}]"
+        elif isinstance(spec, AllOf):
+            handle.arm_events(spec.events, all_of=True)
+            names = ", ".join(e.name for e in spec.events)
+            self.wait_description = f"all of [{names}]"
+        else:
+            self._terminate()
+            raise ProcessError(
+                self.name,
+                f"invalid wait specification yielded: {spec!r} "
+                "(expected SimTime, Event, AnyOf, AllOf, or None)",
+            )
+        self._handle = handle
+
+    def _terminate(self) -> None:
+        if self._handle is not None:
+            self._handle.disarm()
+            self._handle = None
+        if self._gen is not None:
+            self._gen.close()
+            self._gen = None
+        super()._terminate()
+
+
+class _MethodTrigger:
+    """One-shot dynamic trigger installed by ``MethodProcess.next_trigger``."""
+
+    __slots__ = ("process", "events", "timed_action", "active")
+
+    def __init__(self, process: "MethodProcess") -> None:
+        self.process = process
+        self.events: List[Event] = []
+        self.timed_action: Optional["TimedAction"] = None
+        self.active = True
+
+    def arm_event(self, event: Event) -> None:
+        event._add_dynamic(self)
+        self.events.append(event)
+
+    def arm_timeout(self, delay: SimTime) -> None:
+        sim = self.process.sim
+        self.timed_action = sim._schedule_timed_fs(
+            sim._now_fs + delay.femtoseconds, self._on_timeout
+        )
+
+    def on_trigger(self, event: Event) -> None:
+        if not self.active:
+            return
+        self._fire()
+
+    def _on_timeout(self) -> None:
+        self.timed_action = None
+        if self.active:
+            self._fire()
+
+    def _fire(self) -> None:
+        self.disarm()
+        self.process._dynamic_fire()
+
+    def disarm(self) -> None:
+        self.active = False
+        for event in self.events:
+            event._remove_dynamic(self)
+        self.events.clear()
+        if self.timed_action is not None:
+            self.timed_action.cancel()
+            self.timed_action = None
+
+
+class MethodProcess(Process):
+    """An SC_METHOD-style callback process.
+
+    Runs once per trigger of its static sensitivity; must not block.  With
+    ``initialize=True`` (the SystemC default) it also runs once at
+    simulation start.  :meth:`next_trigger` installs a one-shot dynamic
+    trigger that overrides the static sensitivity for the next activation,
+    exactly as in SystemC 2.0.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        fn: Callable[[], None],
+        *,
+        initialize: bool = True,
+    ) -> None:
+        super().__init__(sim, name)
+        self._fn = fn
+        self._initialize = initialize
+        self._queued = False
+        self._dynamic: Optional[_MethodTrigger] = None
+        self._pending_trigger: Optional[object] = "unset"
+
+    def start(self) -> None:
+        if self.state is not ProcessState.CREATED:
+            return
+        self.state = ProcessState.WAITING
+        if self._initialize:
+            self._enqueue()
+
+    def next_trigger(self, spec: "WaitSpec" = None) -> None:
+        """Override the sensitivity for the *next* activation (one-shot).
+
+        ``None`` restores the static sensitivity list; an :class:`Event`
+        or :class:`SimTime` makes exactly the next activation fire on that
+        event/timeout.  Usually called from within the method body.
+        """
+        self._pending_trigger = spec
+
+    def _static_trigger(self, event: Event) -> None:
+        if self._dynamic is not None:
+            return  # a dynamic trigger overrides static sensitivity
+        self._enqueue()
+
+    def _dynamic_fire(self) -> None:
+        self._dynamic = None
+        self._enqueue()
+
+    def _enqueue(self) -> None:
+        if self.state is ProcessState.TERMINATED or self._queued:
+            return
+        self._queued = True
+        self.sim._make_runnable(self)
+
+    def _execute(self) -> None:
+        self._queued = False
+        if self.state is ProcessState.TERMINATED:
+            return
+        self.state = ProcessState.RUNNING
+        self._pending_trigger = "unset"
+        try:
+            self._fn()
+        except Exception as exc:
+            self._terminate()
+            raise ProcessError(self.name, f"{type(exc).__name__}: {exc}") from exc
+        if self._pending_trigger != "unset":
+            self._install_dynamic(self._pending_trigger)
+        if self.state is ProcessState.RUNNING:
+            self.state = ProcessState.WAITING
+
+    def _install_dynamic(self, spec: "WaitSpec") -> None:
+        if self._dynamic is not None:
+            self._dynamic.disarm()
+            self._dynamic = None
+        if spec is None:
+            return  # back to the static sensitivity list
+        trigger = _MethodTrigger(self)
+        if isinstance(spec, Event):
+            trigger.arm_event(spec)
+        elif isinstance(spec, SimTime):
+            trigger.arm_timeout(spec)
+        elif isinstance(spec, AnyOf):
+            for event in spec.events:
+                trigger.arm_event(event)
+            if spec.timeout is not None:
+                trigger.arm_timeout(spec.timeout)
+        else:
+            raise ProcessError(
+                self.name,
+                f"invalid next_trigger specification: {spec!r} "
+                "(expected Event, SimTime, AnyOf, or None)",
+            )
+        self._dynamic = trigger
+
+    def _terminate(self) -> None:
+        if self._dynamic is not None:
+            self._dynamic.disarm()
+            self._dynamic = None
+        super()._terminate()

@@ -1,0 +1,316 @@
+"""The discrete-event scheduler.
+
+Implements the SystemC 2.0 scheduling algorithm:
+
+1. *Evaluation phase*: run every runnable process.  Immediate notifications
+   make further processes runnable within the same phase.
+2. *Update phase*: apply pending primitive-channel updates (e.g. committed
+   signal writes), which may post delta notifications.
+3. *Delta notification phase*: fire pending delta notifications; if any
+   process became runnable, start a new delta cycle at the same time.
+4. *Timed notification phase*: otherwise advance simulated time to the
+   earliest pending timed action and fire everything scheduled there.
+
+The scheduler is fully deterministic: runnable processes execute in FIFO
+order of becoming runnable, timed actions in (time, insertion sequence)
+order, and update/delta queues in insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from .errors import DeadlockError, ElaborationError, SchedulingError
+from .event import Event
+from .process import MethodProcess, Process, ProcessState, ThreadProcess
+from .simtime import SimTime, ZERO_TIME
+
+
+class TimedAction:
+    """A cancellable callback scheduled at an absolute simulation time."""
+
+    __slots__ = ("time_fs", "seq", "callback", "cancelled")
+
+    def __init__(self, time_fs: int, seq: int, callback: Callable[[], None]) -> None:
+        self.time_fs = time_fs
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (the heap entry is skipped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "TimedAction") -> bool:
+        return (self.time_fs, self.seq) < (other.time_fs, other.seq)
+
+
+class SimulatorStats:
+    """Bookkeeping counters exposed by :attr:`Simulator.stats`."""
+
+    def __init__(self) -> None:
+        self.process_executions = 0
+        self.delta_cycles = 0
+        self.timed_activations = 0
+        self.signal_updates = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dictionary (for reports)."""
+        return {
+            "process_executions": self.process_executions,
+            "delta_cycles": self.delta_cycles,
+            "timed_activations": self.timed_activations,
+            "signal_updates": self.signal_updates,
+        }
+
+
+class Simulator:
+    """Owns the event queues, the module hierarchy, and the clock of record.
+
+    Typical use::
+
+        sim = Simulator()
+        top = MySoc("top", sim=sim)
+        sim.run(until=us(100))
+    """
+
+    def __init__(self, name: str = "sim") -> None:
+        self.name = name
+        self._now_fs = 0
+        self._running = False
+        self._started = False
+        self._stop_requested = False
+        self._seq = 0
+        self._runnable: deque = deque()
+        self._timed_heap: List[TimedAction] = []
+        self._delta_events: List[Event] = []
+        self._update_queue: List[object] = []
+        self._processes: List[Process] = []
+        self._top_modules: List[object] = []
+        self._end_of_elaboration_hooks: List[Callable[[], None]] = []
+        self.stats = SimulatorStats()
+        self.trace_hooks: List[Callable[[SimTime], None]] = []
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time."""
+        return SimTime.from_fs(self._now_fs)
+
+    @property
+    def delta_count(self) -> int:
+        """Total delta cycles executed so far."""
+        return self.stats.delta_cycles
+
+    # -- construction -------------------------------------------------------
+    def event(self, name: str = "event") -> Event:
+        """Create a kernel event owned by this simulator."""
+        return Event(self, name)
+
+    def register_top(self, module: object) -> None:
+        """Record a top-level module (called by :class:`Module`)."""
+        self._top_modules.append(module)
+
+    def register_process(self, process: Process) -> None:
+        if self._started:
+            # Dynamic process: start immediately.
+            self._processes.append(process)
+            process.start()
+        else:
+            self._processes.append(process)
+
+    def spawn(self, name: str, fn: Callable[[], object], daemon: bool = False) -> ThreadProcess:
+        """Create (and, if the simulation has started, start) a thread process."""
+        process = ThreadProcess(self, name, fn)
+        process.daemon = daemon
+        self.register_process(process)
+        return process
+
+    def add_end_of_elaboration_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable run once, just before the first evaluation."""
+        if self._started:
+            raise ElaborationError("simulation already started")
+        self._end_of_elaboration_hooks.append(hook)
+
+    # -- kernel-internal scheduling hooks -------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _make_runnable(self, process: Process) -> None:
+        self._runnable.append(process)
+
+    def _schedule_timed_fs(self, time_fs: int, callback: Callable[[], None]) -> TimedAction:
+        if time_fs < self._now_fs:
+            raise SchedulingError("cannot schedule in the past")
+        action = TimedAction(time_fs, self._next_seq(), callback)
+        heapq.heappush(self._timed_heap, action)
+        return action
+
+    def schedule(self, delay: SimTime, callback: Callable[[], None]) -> TimedAction:
+        """Schedule ``callback`` to run ``delay`` from now (kernel context)."""
+        return self._schedule_timed_fs(self._now_fs + delay.femtoseconds, callback)
+
+    def _queue_delta_event(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def _dequeue_delta_event(self, event: Event) -> None:
+        if event in self._delta_events:
+            self._delta_events.remove(event)
+
+    def request_update(self, channel: object) -> None:
+        """Queue a primitive channel for the next update phase.
+
+        ``channel`` must expose an ``_update()`` method.
+        """
+        if channel not in self._update_queue:
+            self._update_queue.append(channel)
+
+    def _process_terminated(self, process: Process) -> None:
+        # Kept in the list for post-mortem inspection; nothing to do here.
+        pass
+
+    # -- running --------------------------------------------------------------
+    def initialize(self) -> None:
+        """Run end-of-elaboration hooks and make all processes runnable."""
+        if self._started:
+            return
+        self._started = True
+        for hook in self._end_of_elaboration_hooks:
+            hook()
+        for process in self._processes:
+            process.start()
+
+    def stop(self) -> None:
+        """Request the scheduler to stop after the current process returns."""
+        self._stop_requested = True
+
+    def run(
+        self,
+        until: Optional[SimTime] = None,
+        *,
+        max_deltas_per_instant: int = 100_000,
+        error_on_deadlock: bool = False,
+    ) -> SimTime:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this duration (measured
+            from time zero, like ``sc_start``).  ``None`` runs to event
+            starvation.
+        max_deltas_per_instant:
+            Guard against non-advancing delta loops (combinational cycles).
+        error_on_deadlock:
+            If true and the run ends by starvation while thread processes
+            are still blocked, raise :class:`DeadlockError`.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if self._running:
+            raise SchedulingError("run() is not reentrant")
+        self.initialize()
+        self._running = True
+        self._stop_requested = False
+        until_fs = until.femtoseconds if until is not None else None
+        deltas_this_instant = 0
+        try:
+            while not self._stop_requested:
+                # Evaluation phase.
+                executed = False
+                while self._runnable:
+                    process = self._runnable.popleft()
+                    executed = True
+                    self.stats.process_executions += 1
+                    process._execute()
+                    if self._stop_requested:
+                        break
+                if self._stop_requested:
+                    break
+                # Update phase.
+                if self._update_queue:
+                    updates, self._update_queue = self._update_queue, []
+                    for channel in updates:
+                        self.stats.signal_updates += 1
+                        channel._update()  # type: ignore[attr-defined]
+                # Delta notification phase.
+                if self._delta_events:
+                    events, self._delta_events = self._delta_events, []
+                    for event in events:
+                        event._delta_fire()
+                if self._runnable:
+                    self.stats.delta_cycles += 1
+                    deltas_this_instant += 1
+                    if deltas_this_instant > max_deltas_per_instant:
+                        raise SchedulingError(
+                            f"more than {max_deltas_per_instant} delta cycles at "
+                            f"time {self.now}; combinational loop?"
+                        )
+                    continue
+                if executed or self._update_queue or self._delta_events:
+                    # Updates/deltas may still be pending even without
+                    # runnable processes; loop again before advancing time.
+                    if self._update_queue or self._delta_events:
+                        continue
+                # Timed notification phase.
+                deltas_this_instant = 0
+                next_action = self._pop_next_timed()
+                if next_action is None:
+                    break  # starvation
+                if until_fs is not None and next_action.time_fs > until_fs:
+                    heapq.heappush(self._timed_heap, next_action)
+                    self._now_fs = until_fs
+                    break
+                self._now_fs = next_action.time_fs
+                self.stats.timed_activations += 1
+                next_action.callback()
+                # Fire everything else scheduled at the same instant.
+                while self._timed_heap and self._timed_heap[0].time_fs == self._now_fs:
+                    action = heapq.heappop(self._timed_heap)
+                    if action.cancelled:
+                        continue
+                    self.stats.timed_activations += 1
+                    action.callback()
+                for hook in self.trace_hooks:
+                    hook(self.now)
+        finally:
+            self._running = False
+        if error_on_deadlock and not self._stop_requested:
+            blocked = self.blocked_processes()
+            if blocked:
+                names = ", ".join(p.name for p in blocked)
+                raise DeadlockError(
+                    f"simulation starved at {self.now} with blocked processes: {names}"
+                )
+        return self.now
+
+    def _pop_next_timed(self) -> Optional[TimedAction]:
+        while self._timed_heap:
+            action = heapq.heappop(self._timed_heap)
+            if not action.cancelled:
+                return action
+        return None
+
+    # -- diagnosis ---------------------------------------------------------------
+    def blocked_processes(self) -> List[Process]:
+        """Thread processes currently suspended on a wait.
+
+        After a run ends by starvation, any entry here whose wait is not a
+        timeout indicates a process that can never resume — the raw material
+        for deadlock analysis (:mod:`repro.analysis.deadlock`).
+        """
+        return [
+            p
+            for p in self._processes
+            if isinstance(p, ThreadProcess) and p.state is ProcessState.WAITING
+        ]
+
+    def pending_timed_count(self) -> int:
+        """Number of not-yet-cancelled timed actions still queued."""
+        return sum(1 for a in self._timed_heap if not a.cancelled)
+
+    def __repr__(self) -> str:
+        return f"Simulator({self.name!r}, now={self.now})"

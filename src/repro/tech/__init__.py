@@ -1,0 +1,50 @@
+"""Reconfigurable-technology parameter library.
+
+:class:`ReconfigTechnology` captures the three technology issues the paper
+says must be parameterized at system level (block speed, largest-context
+resources, reconfiguration delay/memory cost); :mod:`presets` anchors them
+to the Chapter 3 device data (Virtex-II Pro, VariCore, MorphoSys, ASIC);
+:mod:`estimate` regenerates the Figure 2 flexibility/efficiency bands.
+"""
+
+from .estimate import (
+    FIGURE2_CLASSES,
+    ArchitectureClass,
+    architecture_class,
+    class_for_technology,
+    efficiency_span_factor,
+    efficiency_table,
+    estimate_efficiency,
+    instruction_processor_efficiency,
+)
+from .presets import (
+    ASIC,
+    MORPHOSYS,
+    PRESETS,
+    SLOW_FPGA,
+    VARICORE,
+    VIRTEX2PRO,
+    preset,
+    reconfigurable_presets,
+)
+from .technology import ReconfigTechnology
+
+__all__ = [
+    "ASIC",
+    "ArchitectureClass",
+    "FIGURE2_CLASSES",
+    "MORPHOSYS",
+    "PRESETS",
+    "ReconfigTechnology",
+    "SLOW_FPGA",
+    "VARICORE",
+    "VIRTEX2PRO",
+    "architecture_class",
+    "class_for_technology",
+    "efficiency_span_factor",
+    "efficiency_table",
+    "estimate_efficiency",
+    "instruction_processor_efficiency",
+    "preset",
+    "reconfigurable_presets",
+]

@@ -1,0 +1,156 @@
+"""Architecture-class efficiency estimation (paper Figure 2).
+
+Figure 2 (after Brodersen) plots flexibility against implementation
+efficiency for architectural styles, spanning a factor of 100–1000 between
+general-purpose processors and dedicated hardware:
+
+=============================  ==================  ============
+class                          efficiency band     flexibility
+=============================  ==================  ============
+general-purpose processor      0.1–1 MIPS/mW       5 (highest)
+embedded processor (LP ARM)    1–10 MIPS/mW        4
+DSP / ASIP                     10–100 MOPS/mW      3
+reconfigurable processor/FPGA  100–1000 MOPS/mW    2
+dedicated ASIC                 ×100–1000 over GPP  1 (lowest)
+=============================  ==================  ============
+
+:func:`estimate_efficiency` computes an achieved MOPS/mW figure for a
+technology preset from its own power/clock model, and
+:func:`efficiency_table` regenerates the Figure 2 ordering — the E2 bench
+asserts both the ordering and the orders-of-magnitude span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .technology import ReconfigTechnology
+
+
+@dataclass(frozen=True)
+class ArchitectureClass:
+    """One band of the Figure 2 trade-off chart."""
+
+    key: str
+    label: str
+    #: (low, high) efficiency band in MOPS/mW.
+    mops_per_mw: Tuple[float, float]
+    #: Ordinal flexibility, 5 = fully programmable, 1 = fixed.
+    flexibility: int
+    #: Parallelism style from the figure's axes.
+    computation_style: str
+
+
+#: The five bands of Figure 2, in decreasing flexibility.
+FIGURE2_CLASSES: List[ArchitectureClass] = [
+    ArchitectureClass(
+        "gpp", "General-purpose instruction set processor", (0.1, 1.0), 5, "temporal"
+    ),
+    ArchitectureClass(
+        "embedded", "Embedded processor (LP ARM)", (1.0, 10.0), 4, "temporal"
+    ),
+    ArchitectureClass(
+        "dsp_asip", "DSP / application-specific instruction processor", (10.0, 100.0), 3, "temporal"
+    ),
+    ArchitectureClass(
+        "reconfigurable", "Reconfigurable processor / embedded FPGA", (100.0, 1000.0), 2, "spatial"
+    ),
+    ArchitectureClass(
+        "asic", "Dedicated / direct-mapped hardware (ASIC)", (1000.0, 10000.0), 1, "spatial"
+    ),
+]
+
+_CLASS_BY_KEY = {c.key: c for c in FIGURE2_CLASSES}
+
+#: Mapping from technology-preset granularity to a Figure 2 class.
+_GRANULARITY_CLASS = {
+    "fine": "reconfigurable",
+    "medium": "reconfigurable",
+    "coarse": "reconfigurable",
+    "none": "asic",
+}
+
+
+def architecture_class(key: str) -> ArchitectureClass:
+    """Look up a Figure 2 band by key."""
+    try:
+        return _CLASS_BY_KEY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture class {key!r}; known: {sorted(_CLASS_BY_KEY)}"
+        ) from None
+
+
+def class_for_technology(tech: ReconfigTechnology) -> ArchitectureClass:
+    """The Figure 2 band a technology preset belongs to."""
+    return _CLASS_BY_KEY[_GRANULARITY_CLASS[tech.granularity]]
+
+
+def estimate_efficiency(
+    tech: ReconfigTechnology,
+    *,
+    gates: int = 20_000,
+    ops_per_cycle_per_kgate: float = 8.0,
+) -> float:
+    """Achieved efficiency of a mapped block in MOPS/mW.
+
+    The operations throughput of a spatial block scales with its gate count
+    (parallel datapath) and fabric clock; power comes from the preset's
+    dynamic coefficient.  ``ops_per_cycle_per_kgate`` calibrates how many
+    useful operations one kilogate of datapath performs per cycle; the
+    Figure 2 charts count narrow (8/16-bit) word operations of fully
+    spatial datapaths, where one kilogate sustains several ops per cycle
+    (8 reproduces the published MOPS/mW decades with the Chapter 3 power
+    figures).
+    """
+    if gates <= 0:
+        raise ValueError("gate count must be positive")
+    ops_per_cycle = (gates / 1000.0) * ops_per_cycle_per_kgate * tech.speed_factor
+    mops = ops_per_cycle * tech.fabric_clock_hz / 1e6
+    power_mw = (tech.active_power_w(gates) + tech.idle_power_w(gates)) * 1e3
+    if power_mw <= 0:
+        raise ValueError(f"{tech.name}: non-positive power model")
+    return mops / power_mw
+
+
+def instruction_processor_efficiency(class_key: str) -> float:
+    """Geometric-mean efficiency (MOPS/mW) of an instruction-set band."""
+    band = architecture_class(class_key).mops_per_mw
+    return (band[0] * band[1]) ** 0.5
+
+
+def efficiency_table(
+    techs: Sequence[ReconfigTechnology] = (),
+) -> List[Dict[str, object]]:
+    """Regenerate Figure 2 as rows of (class, band, flexibility, examples).
+
+    Technology presets passed in are placed into their class with their
+    *modelled* efficiency, so the bench can check the model lands inside
+    (or near) the published band.
+    """
+    rows: List[Dict[str, object]] = []
+    for cls in FIGURE2_CLASSES:
+        modeled = {
+            t.name: estimate_efficiency(t)
+            for t in techs
+            if _GRANULARITY_CLASS[t.granularity] == cls.key
+        }
+        rows.append(
+            {
+                "class": cls.key,
+                "label": cls.label,
+                "band_mops_per_mw": cls.mops_per_mw,
+                "flexibility": cls.flexibility,
+                "computation_style": cls.computation_style,
+                "modeled": modeled,
+            }
+        )
+    return rows
+
+
+def efficiency_span_factor() -> float:
+    """The end-to-end efficiency span of Figure 2 (should be 100–1000+)."""
+    lo = FIGURE2_CLASSES[0].mops_per_mw[1]  # best GPP
+    hi = FIGURE2_CLASSES[-1].mops_per_mw[0]  # worst ASIC
+    return hi / lo

@@ -1,0 +1,137 @@
+"""Technology presets parameterized from the paper's Chapter 3.
+
+Each preset is anchored to the figures the paper prints:
+
+* **Xilinx Virtex-II Pro** (system-level FPGA): fine-grain 1-bit SRAM
+  fabric, byte-wide SelectMAP-style configuration port (we use 66 MHz →
+  66 MB/s), single configuration plane, partial reconfiguration supported,
+  fabric up to ~300 MHz (we derate mapped blocks to 150 MHz).  Bits per
+  gate follows the family's ~34 Mbit bitstream over ~638 K logic gates
+  (~53 bits/gate).
+* **Actel VariCore EPGA** (embedded reconfigurable core): 0.18 µm, clocks
+  up to 250 MHz, PEG blocks of 2 500 ASIC gates, 0.075 µW/gate/MHz,
+  typically 240 mW at 100 MHz and 80 % utilization.  Configuration over the
+  SoC's 32-bit bus; partitionable → partial reconfiguration.
+* **MorphoSys** (array of processing elements): coarse-grain 8×8 RC array,
+  32 context words of which 16 execute while the other 16 reload in the
+  background — modelled as 2 resident context banks with background
+  loading and a tiny per-block context (coarse granularity ⇒ ~2 bits of
+  configuration per equivalent gate).
+* **ASIC**: the non-reconfigurable reference with granularity ``"none"``
+  (the Figure 1(a) hardwired accelerators).
+
+Numbers not printed in the paper (e.g. leakage) are engineering estimates
+for the 2003-era 0.18/0.13 µm nodes; experiments depend on ratios between
+presets, not on their absolute calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..kernel import us, ZERO_TIME
+from .technology import ReconfigTechnology
+
+#: Xilinx Virtex-II Pro-style system-level FPGA.
+VIRTEX2PRO = ReconfigTechnology(
+    name="virtex2pro",
+    granularity="fine",
+    fabric_clock_hz=150e6,
+    config_port_width_bits=8,
+    config_port_freq_hz=66e6,
+    bits_per_gate=53.0,
+    context_slots=1,
+    background_load=False,
+    activation_overhead_cycles=0,
+    reconfig_overhead=us(5),  # controller sync + CRC per reconfiguration
+    speed_factor=0.5,  # LUT/routing derating vs ASIC
+    area_per_gate_um2=35.0,  # fine-grain fabric area overhead
+    active_power_w_per_gate_mhz=1.0e-7,
+    config_power_w=0.15,
+    idle_power_w_per_gate=6.0e-9,
+    partial_reconfig=True,
+)
+
+#: Actel VariCore-style embedded reconfigurable core.
+VARICORE = ReconfigTechnology(
+    name="varicore",
+    granularity="medium",
+    fabric_clock_hz=250e6,
+    config_port_width_bits=32,
+    config_port_freq_hz=50e6,
+    bits_per_gate=30.0,
+    context_slots=1,
+    background_load=False,
+    activation_overhead_cycles=0,
+    reconfig_overhead=us(2),
+    speed_factor=0.7,
+    area_per_gate_um2=20.0,
+    active_power_w_per_gate_mhz=7.5e-8,  # the printed 0.075 uW/gate/MHz
+    config_power_w=0.08,
+    idle_power_w_per_gate=3.0e-9,
+    partial_reconfig=True,
+)
+
+#: MorphoSys-style coarse-grain multi-context array.
+MORPHOSYS = ReconfigTechnology(
+    name="morphosys",
+    granularity="coarse",
+    fabric_clock_hz=100e6,
+    config_port_width_bits=32,
+    config_port_freq_hz=100e6,
+    bits_per_gate=2.0,
+    context_slots=2,  # active bank + background-loadable bank
+    background_load=True,
+    activation_overhead_cycles=1,
+    reconfig_overhead=ZERO_TIME,
+    speed_factor=0.9,  # word-level datapaths map near-natively
+    area_per_gate_um2=8.0,
+    active_power_w_per_gate_mhz=1.2e-7,
+    config_power_w=0.04,
+    idle_power_w_per_gate=2.0e-9,
+    partial_reconfig=False,
+)
+
+#: Fixed, dedicated hardware (Figure 1(a) accelerators).
+ASIC = ReconfigTechnology(
+    name="asic",
+    granularity="none",
+    fabric_clock_hz=200e6,
+    config_port_width_bits=1,
+    config_port_freq_hz=1.0,
+    bits_per_gate=1.0,
+    context_slots=1,
+    speed_factor=1.0,
+    area_per_gate_um2=1.0,
+    active_power_w_per_gate_mhz=2.5e-8,
+    config_power_w=0.0,
+    idle_power_w_per_gate=1.0e-9,
+    partial_reconfig=False,
+)
+
+#: A deliberately slow single-context FPGA used to stress context thrash.
+SLOW_FPGA = VIRTEX2PRO.scaled(
+    name="slow_fpga",
+    config_port_width_bits=8,
+    config_port_freq_hz=20e6,
+    reconfig_overhead=us(20),
+)
+
+#: All presets by name.
+PRESETS: Dict[str, ReconfigTechnology] = {
+    t.name: t
+    for t in (VIRTEX2PRO, VARICORE, MORPHOSYS, ASIC, SLOW_FPGA)
+}
+
+
+def preset(name: str) -> ReconfigTechnology:
+    """Look up a preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown technology preset {name!r}; known: {sorted(PRESETS)}") from None
+
+
+def reconfigurable_presets() -> List[ReconfigTechnology]:
+    """All presets that actually reconfigure (E6 sweeps iterate these)."""
+    return [t for t in PRESETS.values() if t.is_reconfigurable]

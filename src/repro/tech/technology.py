@@ -1,0 +1,191 @@
+"""Reconfigurable-technology parameter model.
+
+The paper's Section 5.5 concludes that technology effects cannot be
+generalized at system level and must instead be *parameterized*: the three
+issues that matter are (1) processing speed of a functional block, (2)
+resources needed for the largest context, and (3) delays and memory
+consumption caused by reconfiguration.  :class:`ReconfigTechnology`
+captures exactly those knobs, plus the structural properties Chapter 3
+distinguishes between technology classes (granularity, number of resident
+contexts, background loadability, partial reconfiguration).
+
+All derived quantities (context bitstream size, reconfiguration time,
+energy) are computed here so every consumer — the DRCF scheduler, the area
+estimator, the DSE sweeps — agrees on them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..kernel import SimTime, ZERO_TIME, cycles_to_time
+
+
+@dataclass(frozen=True)
+class ReconfigTechnology:
+    """Parameters of one (re)configurable implementation technology.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier (e.g. ``"virtex2pro"``).
+    granularity:
+        ``"fine"`` (bit-level LUT fabric), ``"medium"``, ``"coarse"``
+        (word-level processing elements) or ``"none"`` (fixed ASIC).
+    fabric_clock_hz:
+        Clock of mapped functional blocks (issue 1 of Section 5.5).
+    config_port_width_bits / config_port_freq_hz:
+        Bandwidth of the configuration interface; together with the context
+        size these produce the reconfiguration delay (issue 3).
+    bits_per_gate:
+        Configuration bits needed per equivalent ASIC gate of mapped
+        functionality (issue 2/3: context size and memory consumption).
+    context_slots:
+        Number of contexts resident on the fabric simultaneously (1 for a
+        single-context FPGA, 2+ for multi-context devices like MorphoSys).
+    background_load:
+        Whether an inactive context slot can be loaded while another
+        context executes (MorphoSys-style).
+    activation_overhead_cycles:
+        Fabric cycles to switch to an *already resident* context.
+    reconfig_overhead:
+        Fixed extra delay per reconfiguration beyond the raw config-data
+        transfer (controller setup, CRC, routing settle).
+    speed_factor:
+        Throughput of a block on this fabric relative to the same block as
+        dedicated ASIC logic (< 1 for FPGAs: routing/LUT overhead).
+    area_per_gate_um2:
+        Silicon area per equivalent gate of mapped logic.
+    active_power_w_per_gate_mhz:
+        Dynamic power coefficient while computing (W per gate per MHz).
+    config_power_w:
+        Power drawn while reconfiguring.
+    idle_power_w_per_gate:
+        Static power per instantiated gate.
+    partial_reconfig:
+        Whether a fraction of the fabric can be reconfigured while the rest
+        runs.
+    """
+
+    name: str
+    granularity: str
+    fabric_clock_hz: float
+    config_port_width_bits: int
+    config_port_freq_hz: float
+    bits_per_gate: float
+    context_slots: int = 1
+    background_load: bool = False
+    activation_overhead_cycles: int = 2
+    reconfig_overhead: SimTime = ZERO_TIME
+    speed_factor: float = 1.0
+    area_per_gate_um2: float = 1.0
+    active_power_w_per_gate_mhz: float = 1e-7
+    config_power_w: float = 0.05
+    idle_power_w_per_gate: float = 1e-9
+    partial_reconfig: bool = False
+
+    def __post_init__(self) -> None:
+        if self.granularity not in ("fine", "medium", "coarse", "none"):
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+        if self.granularity != "none":
+            if self.config_port_width_bits <= 0 or self.config_port_freq_hz <= 0:
+                raise ValueError(f"{self.name}: config port must have positive bandwidth")
+            if self.context_slots < 1:
+                raise ValueError(f"{self.name}: need at least one context slot")
+            if self.bits_per_gate <= 0:
+                raise ValueError(f"{self.name}: bits_per_gate must be positive")
+        if self.speed_factor <= 0:
+            raise ValueError(f"{self.name}: speed_factor must be positive")
+
+    # -- structural ---------------------------------------------------------
+    @property
+    def is_reconfigurable(self) -> bool:
+        return self.granularity != "none"
+
+    @property
+    def config_bandwidth_bits_per_s(self) -> float:
+        """Raw configuration-port bandwidth."""
+        return self.config_port_width_bits * self.config_port_freq_hz
+
+    # -- derived quantities (Section 5.5 issues) ------------------------------
+    def context_size_bits(self, gates: int) -> int:
+        """Configuration bitstream size for a block of ``gates`` gates."""
+        if not self.is_reconfigurable:
+            return 0
+        return int(math.ceil(gates * self.bits_per_gate))
+
+    def context_size_bytes(self, gates: int) -> int:
+        """Bitstream size in bytes (rounded up to whole bytes)."""
+        return (self.context_size_bits(gates) + 7) // 8
+
+    def raw_load_time(self, context_bits: int) -> SimTime:
+        """Time to push ``context_bits`` through the configuration port."""
+        if not self.is_reconfigurable or context_bits == 0:
+            return ZERO_TIME
+        beats = math.ceil(context_bits / self.config_port_width_bits)
+        return cycles_to_time(beats, self.config_port_freq_hz)
+
+    def reconfig_time(self, context_bits: int) -> SimTime:
+        """Full reconfiguration delay: data load plus fixed overhead."""
+        if not self.is_reconfigurable or context_bits == 0:
+            return ZERO_TIME
+        return self.raw_load_time(context_bits) + self.reconfig_overhead
+
+    def activation_time(self) -> SimTime:
+        """Switch delay to a context already resident in a slot."""
+        if not self.is_reconfigurable:
+            return ZERO_TIME
+        return cycles_to_time(self.activation_overhead_cycles, self.fabric_clock_hz)
+
+    def block_cycles(self, asic_cycles: int) -> int:
+        """Cycles a block needs on this fabric, given its ASIC cycle count.
+
+        Applies the ``speed_factor`` throughput derating (issue 1).
+        """
+        return int(math.ceil(asic_cycles / self.speed_factor))
+
+    def block_compute_time(self, asic_cycles: int) -> SimTime:
+        """Wall time for ``asic_cycles`` worth of work on this fabric."""
+        return cycles_to_time(self.block_cycles(asic_cycles), self.fabric_clock_hz)
+
+    # -- area / power --------------------------------------------------------
+    def fabric_area_um2(self, gates: int) -> float:
+        """Silicon area to host a block of ``gates`` gates."""
+        return gates * self.area_per_gate_um2
+
+    def active_power_w(self, gates: int) -> float:
+        """Dynamic power while a ``gates``-gate block computes."""
+        return gates * self.active_power_w_per_gate_mhz * (self.fabric_clock_hz / 1e6)
+
+    def active_energy_j(self, gates: int, duration: SimTime) -> float:
+        """Energy of an active period."""
+        return self.active_power_w(gates) * duration.to_seconds()
+
+    def config_energy_j(self, duration: SimTime) -> float:
+        """Energy of a reconfiguration period."""
+        return self.config_power_w * duration.to_seconds()
+
+    def idle_power_w(self, gates: int) -> float:
+        """Static power of an instantiated ``gates``-gate block."""
+        return gates * self.idle_power_w_per_gate
+
+    # -- variation ---------------------------------------------------------------
+    def scaled(self, **overrides) -> "ReconfigTechnology":
+        """A copy with fields replaced (used by DSE parameter sweeps)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in reports."""
+        if not self.is_reconfigurable:
+            return f"{self.name}: fixed ASIC @ {self.fabric_clock_hz / 1e6:.0f} MHz"
+        bw = self.config_bandwidth_bits_per_s / 8e6
+        return (
+            f"{self.name}: {self.granularity}-grain, "
+            f"{self.fabric_clock_hz / 1e6:.0f} MHz fabric, "
+            f"{self.context_slots} context slot(s), "
+            f"config {bw:.1f} MB/s"
+            f"{', background load' if self.background_load else ''}"
+            f"{', partial' if self.partial_reconfig else ''}"
+        )

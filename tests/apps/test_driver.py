@@ -1,0 +1,119 @@
+"""The software driver and job runner."""
+
+import pytest
+
+from repro.apps import JobRunner, JobSpec, golden_outputs, make_baseline_netlist
+from repro.apps.driver import run_accelerator_job
+from repro.kernel import Simulator
+
+
+def build(accels=("fir", "xtea")):
+    netlist, info = make_baseline_netlist(accels)
+    sim = Simulator()
+    design = netlist.elaborate(sim)
+    return sim, design, info
+
+
+class TestRunAcceleratorJob:
+    def test_job_on_live_system(self):
+        sim, design, info = build()
+        out = {}
+
+        def task(cpu):
+            result = yield from run_accelerator_job(
+                cpu,
+                info.accel_bases["fir"],
+                [10, 20, 30],
+                param=1,
+                coefs=[1 << 15],
+                buffer_words=info.buffer_words,
+            )
+            out["result"] = result
+
+        design["cpu"].run_task(task)
+        sim.run()
+        assert out["result"] == [10, 20, 30]
+
+    def test_validation(self):
+        sim, design, info = build()
+
+        def empty_job(cpu):
+            yield from run_accelerator_job(cpu, info.accel_bases["fir"], [])
+
+        def oversized_job(cpu):
+            yield from run_accelerator_job(
+                cpu, info.accel_bases["fir"], [1] * 10, buffer_words=4
+            )
+
+        design["cpu"].run_task(empty_job)
+        with pytest.raises(Exception, match="at least one"):
+            sim.run()
+
+        sim2, design2, info2 = build()
+        design2["cpu"].run_task(oversized_job)
+        with pytest.raises(Exception, match="exceeds buffer"):
+            sim2.run()
+
+    def test_n_outputs_controls_readback(self):
+        sim, design, info = build()
+        out = {}
+
+        def task(cpu):
+            result = yield from run_accelerator_job(
+                cpu,
+                info.accel_bases["fir"],
+                [1, 2, 3, 4],
+                param=1,
+                coefs=[1 << 15],
+                n_outputs=2,
+                buffer_words=info.buffer_words,
+            )
+            out["result"] = result
+
+        design["cpu"].run_task(task)
+        sim.run()
+        assert out["result"] == [1, 2]
+
+
+class TestJobSpec:
+    def test_label_defaults_to_accel(self):
+        spec = JobSpec("fir", [1, 2])
+        assert spec.label == "fir"
+        assert JobSpec("fir", [1], label="custom").label == "custom"
+
+
+class TestJobRunner:
+    def test_results_in_issue_order_with_latencies(self):
+        sim, design, info = build()
+        runner = JobRunner(info.accel_bases, info.buffer_words)
+        jobs = [
+            JobSpec("fir", [5, 6, 7], param=1, coefs=[1 << 15], label="j0"),
+            JobSpec("xtea", [1, 2], param=0, coefs=[1, 2, 3, 4], label="j1"),
+        ]
+        design["cpu"].run_task(runner.task(jobs))
+        sim.run()
+        assert [r.spec.label for r in runner.results] == ["j0", "j1"]
+        assert all(r.latency_ns > 0 for r in runner.results)
+        assert runner.results[1].start_ns >= runner.results[0].end_ns
+        for result in runner.results:
+            assert result.outputs == golden_outputs(result.spec)
+
+    def test_latency_aggregations(self):
+        sim, design, info = build()
+        runner = JobRunner(info.accel_bases, info.buffer_words)
+        jobs = [
+            JobSpec("fir", [1, 2], param=1, coefs=[1 << 15]),
+            JobSpec("fir", [3, 4], param=1, coefs=[1 << 15]),
+        ]
+        design["cpu"].run_task(runner.task(jobs))
+        sim.run()
+        by_accel = runner.latency_by_accel()
+        assert set(by_accel) == {"fir"}
+        assert by_accel["fir"] == pytest.approx(runner.total_latency_ns)
+
+    def test_unknown_accel_key_error(self):
+        sim, design, info = build()
+        runner = JobRunner(info.accel_bases, info.buffer_words)
+        design["cpu"].run_task(runner.task([JobSpec("ghost", [1])]))
+        with pytest.raises(Exception, match="ghost"):
+            sim.run()

@@ -1,0 +1,124 @@
+"""Accelerator pipelines: CPU- and DMA-mediated data movement."""
+
+import pytest
+
+from repro.apps import (
+    PipelineStage,
+    golden_pipeline,
+    make_baseline_netlist,
+    make_reconfigurable_netlist,
+    run_cpu_mediated_pipeline,
+    run_dma_mediated_pipeline,
+)
+from repro.bus import DmaController
+from repro.kernel import Simulator
+from repro.tech import MORPHOSYS
+
+STAGES = [
+    PipelineStage("fir", param=2, coefs=[1 << 14, 1 << 13]),
+    PipelineStage("xtea", param=0, coefs=[1, 2, 3, 4]),
+]
+INPUTS = [100 * i - 300 for i in range(16)]
+
+
+def build(reconfigurable=False, with_dma=True):
+    maker = make_reconfigurable_netlist if reconfigurable else make_baseline_netlist
+    kwargs = {"tech": MORPHOSYS} if reconfigurable else {}
+    netlist, info = maker(("fir", "xtea"), **kwargs)
+    if with_dma:
+        netlist.add("dma", DmaController, master_of="system_bus")
+    sim = Simulator()
+    design = netlist.elaborate(sim)
+    return sim, design, info
+
+
+class TestGoldenPipeline:
+    def test_composes_stage_golden_models(self):
+        out = golden_pipeline(STAGES, INPUTS)
+        assert len(out) == len(INPUTS)
+        # Composition differs from single-stage results.
+        assert out != golden_pipeline(STAGES[:1], INPUTS)
+
+
+class TestCpuMediated:
+    @pytest.mark.parametrize("reconfigurable", [False, True], ids=["dedicated", "drcf"])
+    def test_matches_golden(self, reconfigurable):
+        sim, design, info = build(reconfigurable, with_dma=False)
+        result = {}
+
+        def task(cpu):
+            result["out"] = yield from run_cpu_mediated_pipeline(
+                cpu, info.accel_bases, STAGES, INPUTS,
+                buffer_words=info.buffer_words,
+            )
+
+        design["cpu"].run_task(task)
+        sim.run()
+        assert result["out"] == golden_pipeline(STAGES, INPUTS)
+
+
+class TestDmaMediated:
+    @pytest.mark.parametrize("reconfigurable", [False, True], ids=["dedicated", "drcf"])
+    def test_matches_golden(self, reconfigurable):
+        sim, design, info = build(reconfigurable)
+        result = {}
+
+        def task(cpu):
+            result["out"] = yield from run_dma_mediated_pipeline(
+                cpu, design["dma"], info.accel_bases, STAGES, INPUTS,
+                buffer_words=info.buffer_words,
+            )
+
+        design["cpu"].run_task(task)
+        sim.run()
+        assert result["out"] == golden_pipeline(STAGES, INPUTS)
+
+    def test_dma_moves_interstage_data(self):
+        sim, design, info = build(reconfigurable=False)
+
+        def task(cpu):
+            yield from run_dma_mediated_pipeline(
+                cpu, design["dma"], info.accel_bases, STAGES, INPUTS,
+                buffer_words=info.buffer_words,
+            )
+
+        design["cpu"].run_task(task)
+        sim.run()
+        assert design["dma"].words_moved == len(INPUTS)
+        assert design["system_bus"].monitor.words_by_tag("pipeline") > 0
+
+    def test_interdrcf_dma_burst_thrash(self):
+        """DMA between two contexts of one single-slot DRCF switches per
+        burst chunk — small bursts multiply the context switches."""
+        from repro.tech import VARICORE
+
+        switch_counts = {}
+        for burst in (4, 16):
+            netlist, info = make_reconfigurable_netlist(("fir", "xtea"), tech=VARICORE)
+            netlist.add("dma", DmaController, master_of="system_bus")
+            sim = Simulator()
+            design = netlist.elaborate(sim)
+
+            def task(cpu, design=design, burst=burst, info=info):
+                yield from run_dma_mediated_pipeline(
+                    cpu, design["dma"], info.accel_bases, STAGES, INPUTS,
+                    buffer_words=info.buffer_words, dma_burst_words=burst,
+                )
+
+            design["cpu"].run_task(task)
+            sim.run()
+            switch_counts[burst] = design["drcf1"].stats.total_switches
+        # 16 words in bursts of 4: each chunk reads ctx A then writes ctx B.
+        assert switch_counts[4] > switch_counts[16]
+
+    def test_empty_pipeline_rejected(self):
+        sim, design, info = build()
+
+        def task(cpu):
+            yield from run_dma_mediated_pipeline(
+                cpu, design["dma"], info.accel_bases, [], INPUTS,
+            )
+
+        design["cpu"].run_task(task)
+        with pytest.raises(Exception, match="at least one stage"):
+            sim.run()

@@ -1,0 +1,107 @@
+"""Real-time frame workload: release, consumption, deadline statistics."""
+
+import pytest
+
+from repro.apps import (
+    FrameRecord,
+    FrameSource,
+    RealTimeReport,
+    frame_consumer_task,
+    frame_interleaved_jobs,
+    make_baseline_netlist,
+    make_reconfigurable_netlist,
+)
+from repro.kernel import Simulator, us
+from repro.tech import MORPHOSYS, VIRTEX2PRO
+
+
+def make_frame_factory(accels=("fir", "xtea")):
+    def make_frame(index):
+        return frame_interleaved_jobs(accels, 1, seed=100 + index)
+
+    return make_frame
+
+
+def run_realtime(netlist, info, period, n_frames=6):
+    sim = Simulator()
+    design = netlist.elaborate(sim)
+    source = FrameSource(
+        "frames",
+        parent=design.top,
+        period=period,
+        n_frames=n_frames,
+        make_frame=make_frame_factory(),
+    )
+    records = []
+    design["cpu"].run_task(
+        frame_consumer_task(source, info.accel_bases, records,
+                            buffer_words=info.buffer_words)
+    )
+    sim.run()
+    return source, records
+
+
+class TestFrameSource:
+    def test_releases_at_period(self):
+        netlist, info = make_baseline_netlist(("fir", "xtea"))
+        source, records = run_realtime(netlist, info, us(50), n_frames=4)
+        assert source.released == 4
+        assert len(records) == 4
+        releases = sorted(r.release_ns for r in records)
+        assert releases == [0.0, 50_000.0, 100_000.0, 150_000.0]
+
+    def test_frames_processed_in_order(self):
+        netlist, info = make_baseline_netlist(("fir", "xtea"))
+        _, records = run_realtime(netlist, info, us(50), n_frames=4)
+        assert [r.index for r in records] == [0, 1, 2, 3]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            FrameSource("f", sim=sim, period=us(1), n_frames=0, make_frame=lambda i: [])
+
+
+class TestRealTimeReport:
+    def _records(self, latencies):
+        return [
+            FrameRecord(index=i, release_ns=0.0, completion_ns=lat)
+            for i, lat in enumerate(latencies)
+        ]
+
+    def test_miss_counting(self):
+        report = RealTimeReport(deadline_ns=100.0, records=self._records([50, 150, 99, 101]))
+        assert report.misses == 2
+        assert report.miss_rate == 0.5
+        assert report.max_latency_ns == 150
+        assert report.mean_latency_ns == 100.0
+
+    def test_backlog_detection(self):
+        stable = RealTimeReport(100.0, self._records([50, 52, 51, 49]))
+        growing = RealTimeReport(100.0, self._records([50, 100, 200, 400]))
+        assert not stable.backlog_grows()
+        assert growing.backlog_grows()
+
+    def test_empty_report(self):
+        report = RealTimeReport(deadline_ns=10.0)
+        assert report.miss_rate == 0.0
+        assert report.summary()["frames"] == 0
+
+
+class TestDeadlinesByArchitecture:
+    def test_slack_period_meets_deadlines_everywhere(self):
+        for maker, kwargs in (
+            (make_baseline_netlist, {}),
+            (make_reconfigurable_netlist, {"tech": MORPHOSYS}),
+        ):
+            netlist, info = maker(("fir", "xtea"), **kwargs)
+            _, records = run_realtime(netlist, info, us(500))
+            report = RealTimeReport(deadline_ns=500_000.0, records=records)
+            assert report.miss_rate == 0.0, maker.__name__
+
+    def test_fine_grain_fabric_backlogs_at_tight_period(self):
+        # Virtex full-context switches take milliseconds; a 200 us frame
+        # period is unsustainable and the backlog grows frame over frame.
+        netlist, info = make_reconfigurable_netlist(("fir", "xtea"), tech=VIRTEX2PRO)
+        _, records = run_realtime(netlist, info, us(200))
+        report = RealTimeReport(deadline_ns=200_000.0, records=records)
+        assert report.miss_rate == 1.0
+        assert report.backlog_grows()

@@ -1,0 +1,97 @@
+"""Workload generators: determinism, locality structure, golden outputs."""
+
+import pytest
+
+from repro.apps import (
+    batched_jobs,
+    frame_interleaved_jobs,
+    golden_outputs,
+    random_mix_jobs,
+    switch_count_lower_bound,
+)
+from repro.apps.workloads import DEFAULT_SIZES
+
+ACCELS = ("fir", "fft", "viterbi", "xtea", "dct", "matmul")
+
+
+class TestDeterminism:
+    def test_same_seed_same_jobs(self):
+        a = frame_interleaved_jobs(ACCELS, 2, seed=9)
+        b = frame_interleaved_jobs(ACCELS, 2, seed=9)
+        assert [(j.accel, j.inputs, j.param, j.coefs) for j in a] == [
+            (j.accel, j.inputs, j.param, j.coefs) for j in b
+        ]
+
+    def test_different_seed_different_data(self):
+        a = frame_interleaved_jobs(("fir",), 1, seed=1)
+        b = frame_interleaved_jobs(("fir",), 1, seed=2)
+        assert a[0].inputs != b[0].inputs
+
+
+class TestLocalityStructure:
+    def test_interleaved_cycles_through_blocks(self):
+        jobs = frame_interleaved_jobs(("fir", "fft"), 3)
+        assert [j.accel for j in jobs] == ["fir", "fft"] * 3
+
+    def test_batched_groups_blocks(self):
+        jobs = batched_jobs(("fir", "fft"), 3)
+        assert [j.accel for j in jobs] == ["fir"] * 3 + ["fft"] * 3
+
+    def test_same_total_work(self):
+        inter = frame_interleaved_jobs(("fir", "fft"), 4)
+        batch = batched_jobs(("fir", "fft"), 4)
+        assert sorted(j.accel for j in inter) == sorted(j.accel for j in batch)
+
+    def test_switch_lower_bound(self):
+        inter = frame_interleaved_jobs(("fir", "fft"), 3)
+        batch = batched_jobs(("fir", "fft"), 3)
+        assert switch_count_lower_bound(inter) == 6
+        assert switch_count_lower_bound(batch) == 2
+        assert switch_count_lower_bound([]) == 0
+
+    def test_random_mix_respects_count_and_pool(self):
+        jobs = random_mix_jobs(("fir", "xtea"), 10, seed=3)
+        assert len(jobs) == 10
+        assert set(j.accel for j in jobs) <= {"fir", "xtea"}
+
+
+class TestJobShapes:
+    @pytest.mark.parametrize("accel", ACCELS)
+    def test_every_kind_has_golden_model(self, accel):
+        jobs = frame_interleaved_jobs((accel,), 1, seed=5)
+        out = golden_outputs(jobs[0])
+        assert isinstance(out, list) and out
+
+    def test_fft_interleaved_length(self):
+        job = frame_interleaved_jobs(("fft",), 1)[0]
+        assert len(job.inputs) == 2 * job.param
+
+    def test_viterbi_includes_tail_symbols(self):
+        job = frame_interleaved_jobs(("viterbi",), 1)[0]
+        assert len(job.inputs) == job.param + 6  # K-1 tail
+        assert job.n_outputs == job.param
+
+    def test_matmul_two_operands(self):
+        job = frame_interleaved_jobs(("matmul",), 1)[0]
+        assert len(job.inputs) == 2 * job.param * job.param
+
+    def test_size_overrides(self):
+        jobs = frame_interleaved_jobs(("fir",), 1, sizes={"fir": 16})
+        assert len(jobs[0].inputs) == 16
+
+    def test_jobs_fit_default_buffers(self):
+        for job in frame_interleaved_jobs(ACCELS, 1):
+            assert len(job.inputs) <= 256
+
+    def test_unknown_kind(self):
+        from repro.apps.workloads import _make_job
+        import random
+
+        with pytest.raises(KeyError):
+            _make_job("gpu", random.Random(0), DEFAULT_SIZES, "x")
+
+    def test_golden_unknown_kind(self):
+        from repro.apps import JobSpec
+
+        with pytest.raises(KeyError):
+            golden_outputs(JobSpec("gpu", [1]))

@@ -1,0 +1,113 @@
+"""Arbitration policies: FIFO, priority, round-robin, bookkeeping."""
+
+import pytest
+
+from repro.kernel import SimulationError, Simulator, ns
+from repro.bus import Arbiter
+
+
+def contender(sim, arbiter, label, order, priority=0, hold=10, rounds=1):
+    def body():
+        for _ in range(rounds):
+            yield from arbiter.request(label, priority)
+            order.append((label, sim.now.to_ns()))
+            yield ns(hold)
+            arbiter.release(label)
+
+    return body
+
+
+class TestFifo:
+    def test_grant_order_is_request_order(self, sim):
+        arbiter = Arbiter(sim, "fifo", "a")
+        order = []
+        for label in ("x", "y", "z"):
+            sim.spawn(label, contender(sim, arbiter, label, order))
+        sim.run()
+        assert [o[0] for o in order] == ["x", "y", "z"]
+        assert [o[1] for o in order] == [0.0, 10.0, 20.0]
+
+    def test_uncontended_grant_immediate(self, sim):
+        arbiter = Arbiter(sim, "fifo", "a")
+        order = []
+        sim.spawn("only", contender(sim, arbiter, "only", order))
+        sim.run()
+        assert order == [("only", 0.0)]
+        assert arbiter.contention_count == 0
+        assert arbiter.grant_count == 1
+
+
+class TestPriority:
+    def test_lower_number_wins(self, sim):
+        arbiter = Arbiter(sim, "priority", "a")
+        order = []
+        # "low" requests first but has worse priority than "high".
+        sim.spawn("holder", contender(sim, arbiter, "holder", order, priority=0))
+        sim.spawn("low", contender(sim, arbiter, "low", order, priority=5))
+        sim.spawn("high", contender(sim, arbiter, "high", order, priority=1))
+        sim.run()
+        assert [o[0] for o in order] == ["holder", "high", "low"]
+
+    def test_equal_priority_falls_back_to_order(self, sim):
+        arbiter = Arbiter(sim, "priority", "a")
+        order = []
+        for label in ("a", "b", "c"):
+            sim.spawn(label, contender(sim, arbiter, label, order, priority=3))
+        sim.run()
+        assert [o[0] for o in order] == ["a", "b", "c"]
+
+
+class TestRoundRobin:
+    def test_rotation(self, sim):
+        arbiter = Arbiter(sim, "round_robin", "a")
+        order = []
+        for label in ("a", "b", "c"):
+            sim.spawn(label, contender(sim, arbiter, label, order, hold=5, rounds=3))
+        sim.run()
+        granted = [o[0] for o in order]
+        # Each requester appears 3 times and no requester gets two grants
+        # while others wait.
+        assert sorted(granted) == ["a"] * 3 + ["b"] * 3 + ["c"] * 3
+        for i in range(len(granted) - 2):
+            assert len({granted[i], granted[i + 1], granted[i + 2]}) == 3
+
+
+class TestErrors:
+    def test_unknown_policy(self, sim):
+        with pytest.raises(ValueError, match="unknown arbitration policy"):
+            Arbiter(sim, "lottery", "a")
+
+    def test_release_while_idle(self, sim):
+        arbiter = Arbiter(sim, "fifo", "a")
+        with pytest.raises(SimulationError, match="released while idle"):
+            arbiter.release()
+
+    def test_release_by_non_owner(self, sim):
+        arbiter = Arbiter(sim, "fifo", "a")
+
+        def body():
+            yield from arbiter.request("owner")
+            arbiter.release("impostor")
+
+        sim.spawn("p", body)
+        with pytest.raises(Exception, match="owner"):
+            sim.run()
+
+    def test_waiters_listing(self, sim):
+        arbiter = Arbiter(sim, "fifo", "a")
+
+        def holder():
+            yield from arbiter.request("holder")
+            yield ns(100)
+            arbiter.release("holder")
+
+        def waiter():
+            yield ns(1)
+            yield from arbiter.request("waiter")
+            arbiter.release("waiter")
+
+        sim.spawn("h", holder)
+        sim.spawn("w", waiter)
+        sim.run(until=ns(50))
+        assert arbiter.owner == "holder"
+        assert arbiter.waiters == ["waiter"]

@@ -1,0 +1,218 @@
+"""The shared bus: decode, timing, protocols, contention, monitor hookup."""
+
+import pytest
+
+from repro.bus import Bus, Memory
+from repro.kernel import SimulationError, Simulator, ns, us
+from tests.conftest import drive
+
+
+def make_system(sim, *, protocol="blocking", mem_latency=2, arbitration="fifo"):
+    bus = Bus(
+        "bus",
+        sim=sim,
+        clock_freq_hz=100e6,
+        protocol=protocol,
+        arbitration=arbitration,
+    )
+    mem = Memory(
+        "mem",
+        sim=sim,
+        base=0x1000,
+        size_words=256,
+        latency_cycles=mem_latency,
+        clock_freq_hz=100e6,
+    )
+    bus.register_slave(mem)
+    return bus, mem
+
+
+class TestDecode:
+    def test_decode_hits_registered_slave(self, sim):
+        bus, mem = make_system(sim)
+        assert bus.decode(0x1000) is mem
+        assert bus.decode(0x1000 + 255 * 4) is mem
+
+    def test_decode_miss_raises(self, sim):
+        bus, _ = make_system(sim)
+        with pytest.raises(SimulationError, match="no slave decodes"):
+            bus.decode(0x9000)
+
+    def test_overlapping_slaves_rejected(self, sim):
+        bus, _ = make_system(sim)
+        overlap = Memory("m2", sim=sim, base=0x1100, size_words=16)
+        with pytest.raises(SimulationError, match="overlaps"):
+            bus.register_slave(overlap)
+
+    def test_non_slave_rejected(self, sim):
+        bus, _ = make_system(sim)
+        with pytest.raises(SimulationError, match="BusSlaveIf"):
+            bus.register_slave(object())  # type: ignore[arg-type]
+
+    def test_unregister_slave(self, sim):
+        bus, mem = make_system(sim)
+        bus.unregister_slave(mem)
+        assert bus.slaves == []
+
+
+class TestTiming:
+    def test_blocking_read_latency(self, sim):
+        bus, _ = make_system(sim, mem_latency=2)
+
+        def body():
+            data = yield from bus.read(0x1000, 4, master="cpu")
+            return (data, sim.now.to_ns())
+
+        box = drive(sim, body)
+        sim.run()
+        data, t = box.value
+        # addr phase (1) + memory (2 + 3) + data beats (4) = 10 cycles @ 10ns
+        assert t == 100.0
+        assert data == [0, 0, 0, 0]
+
+    def test_write_then_read_roundtrip(self, sim):
+        bus, mem = make_system(sim)
+
+        def body():
+            yield from bus.write(0x1010, [7, 8, 9], master="cpu")
+            data = yield from bus.read(0x1010, 3, master="cpu")
+            return data
+
+        box = drive(sim, body)
+        sim.run()
+        assert box.value == [7, 8, 9]
+        assert mem.peek(0x1010, 3) == [7, 8, 9]
+
+    def test_single_word_write_scalar(self, sim):
+        bus, mem = make_system(sim)
+
+        def body():
+            ok = yield from bus.write(0x1000, 42, master="cpu")
+            return ok
+
+        box = drive(sim, body)
+        sim.run()
+        assert box.value is True
+        assert mem.peek(0x1000) == [42]
+
+    def test_transfer_time_helper(self, sim):
+        bus, _ = make_system(sim)
+        assert bus.transfer_time(4) == ns(50)  # (1 + 4) cycles @ 10 ns
+
+    def test_words_for_bytes(self, sim):
+        bus, _ = make_system(sim)
+        assert bus.words_for_bytes(1) == 1
+        assert bus.words_for_bytes(4) == 1
+        assert bus.words_for_bytes(5) == 2
+
+    def test_zero_burst_rejected(self, sim):
+        bus, _ = make_system(sim)
+
+        def body():
+            yield from bus.read(0x1000, 0, master="cpu")
+
+        sim.spawn("p", body)
+        with pytest.raises(Exception, match="positive"):
+            sim.run()
+
+
+class TestContention:
+    def test_second_master_waits(self, sim):
+        bus, _ = make_system(sim)
+        times = {}
+
+        def master(label, start_delay):
+            def body():
+                yield ns(start_delay)
+                yield from bus.read(0x1000, 8, master=label)
+                times[label] = sim.now.to_ns()
+
+            return body
+
+        sim.spawn("m1", master("m1", 0))
+        sim.spawn("m2", master("m2", 1))
+        sim.run()
+        # m1: 1 addr + 2+7 mem + 8 data = 18 cycles -> 180ns; m2 starts after.
+        assert times["m1"] == 180.0
+        assert times["m2"] == 360.0
+        assert bus.monitor.mean_arbitration_wait("m2") > ns(0)
+
+    def test_priority_master_jumps_queue(self, sim):
+        bus, _ = make_system(sim, arbitration="priority")
+        bus.set_master_priority("urgent", 0)
+        bus.set_master_priority("bulk", 9)
+        order = []
+
+        def master(label, start_delay):
+            def body():
+                yield ns(start_delay)
+                yield from bus.read(0x1000, 4, master=label)
+                order.append(label)
+
+            return body
+
+        sim.spawn("holder", master("holder", 0))
+        sim.spawn("bulk", master("bulk", 1))
+        sim.spawn("urgent", master("urgent", 2))
+        sim.run()
+        assert order == ["holder", "urgent", "bulk"]
+
+
+class TestSplitProtocol:
+    def test_split_releases_bus_during_slave_wait(self, sim):
+        bus, _ = make_system(sim, protocol="split", mem_latency=50)
+        times = {}
+
+        def master(label, start_delay, addr):
+            def body():
+                yield ns(start_delay)
+                yield from bus.read(addr, 1, master=label)
+                times[label] = sim.now.to_ns()
+
+            return body
+
+        sim.spawn("m1", master("m1", 0, 0x1000))
+        sim.spawn("m2", master("m2", 1, 0x1040))
+        sim.run()
+        # Blocking protocol would serialize: each ~520ns -> m2 past 1000ns.
+        # Split overlaps the two memory waits.
+        assert times["m2"] < 700.0
+
+    def test_split_results_still_correct(self, sim):
+        bus, mem = make_system(sim, protocol="split")
+        mem.poke(0x1000, [11, 22])
+
+        def body():
+            data = yield from bus.read(0x1000, 2, master="cpu")
+            return data
+
+        box = drive(sim, body)
+        sim.run()
+        assert box.value == [11, 22]
+
+    def test_unknown_protocol_rejected(self, sim):
+        with pytest.raises(ValueError, match="unknown bus protocol"):
+            Bus("b", sim=sim, protocol="quantum")
+
+    def test_invalid_width_rejected(self, sim):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            Bus("b", sim=sim, data_width_bits=12)
+
+
+class TestMonitorIntegration:
+    def test_transactions_recorded_with_tags(self, sim):
+        bus, _ = make_system(sim)
+
+        def body():
+            yield from bus.read(0x1000, 4, master="cpu", tags=["config"])
+            yield from bus.write(0x1000, [1], master="cpu")
+
+        sim.spawn("p", body)
+        sim.run()
+        monitor = bus.monitor
+        assert monitor.transaction_count == 2
+        assert monitor.words_by_tag("config") == 4
+        assert monitor.words_without_tag("config") == 1
+        assert monitor.words_by_master() == {"cpu": 5}
+        assert monitor.transactions[0].kind == "read"
+        assert monitor.transactions[0].slave == "mem"

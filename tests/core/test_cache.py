@@ -1,0 +1,102 @@
+"""On-chip configuration cache: LRU behaviour and DRCF integration."""
+
+import pytest
+
+from repro.core import ConfigCache
+from tests.core.helpers import DrcfRig, small_tech
+
+
+class TestCacheUnit:
+    def test_lru_eviction_order(self):
+        cache = ConfigCache(300)
+        cache.insert("a", 100)
+        cache.insert("b", 100)
+        cache.insert("c", 100)
+        assert cache.lookup("a")  # touch a
+        cache.insert("d", 100)  # evicts b (LRU)
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert cache.contains("c") and cache.contains("d")
+        assert cache.evictions == 1
+
+    def test_oversized_bitstream_not_cached(self):
+        cache = ConfigCache(100)
+        cache.insert("huge", 500)
+        assert not cache.contains("huge")
+        assert cache.used_bytes == 0
+
+    def test_hit_miss_accounting(self):
+        cache = ConfigCache(100)
+        assert not cache.lookup("x")
+        cache.insert("x", 50)
+        assert cache.lookup("x")
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_refill_time_scales(self):
+        cache = ConfigCache(10_000, words_per_cycle=4, clock_freq_hz=100e6)
+        assert cache.refill_time(1600) < cache.refill_time(6400)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfigCache(0)
+        with pytest.raises(ValueError):
+            ConfigCache(100, words_per_cycle=0)
+
+
+class TestDrcfIntegration:
+    def _run(self, cache_bytes, accesses=(0, 1, 0, 1, 0, 1)):
+        # Fast config port so loads are bus-bound and the cache saves time.
+        tech = small_tech(
+            context_slots=1, config_port_width_bits=256, config_port_freq_hz=400e6
+        )
+        rig = DrcfRig(
+            n_contexts=2,
+            tech=tech,
+            context_gates=2000,
+            config_cache_bytes=cache_bytes,
+        )
+
+        def body():
+            for index in accesses:
+                yield from rig.master_read(rig.addr(index))
+
+        rig.sim.spawn("p", body)
+        rig.sim.run()
+        return rig
+
+    def test_cache_removes_repeat_bus_traffic(self):
+        plain = self._run(None)
+        cached = self._run(8192)  # holds both 2000-byte bitstreams
+        words = plain.drcf.contexts[0].params.config_words(4)
+        # Without cache: 6 external fetches; with: only the 2 cold ones.
+        assert plain.bus.monitor.words_by_tag("config") == 6 * words
+        assert cached.bus.monitor.words_by_tag("config") == 2 * words
+        assert cached.drcf.config_cache.hits == 4
+        # Stats follow the *external* traffic.
+        assert cached.drcf.stats.total_config_words == 2 * words
+        assert cached.sim.now < plain.sim.now
+
+    def test_small_cache_thrashes(self):
+        # Capacity for one bitstream only: alternating contexts never hit.
+        cached = self._run(2048)
+        assert cached.drcf.config_cache.hits == 0
+        assert cached.drcf.config_cache.evictions > 0
+
+    def test_functional_results_unaffected(self):
+        rig = self._run(8192)
+        model = {}
+
+        def body():
+            for index in (0, 1, 0):
+                yield from rig.master_write(rig.addr(index, 2), 40 + index)
+                model[index] = 40 + index
+                data = yield from rig.master_read(rig.addr(index, 2))
+                assert data == [model[index]]
+
+        rig.sim.spawn("verify", body)
+        rig.sim.run()
+
+    def test_no_cache_attribute_when_disabled(self):
+        rig = self._run(None)
+        assert rig.drcf.config_cache is None

@@ -1,0 +1,79 @@
+"""Context descriptors and parameter derivation."""
+
+import pytest
+
+from repro.core import Context, ContextParameters, context_parameters_for
+from repro.kernel import ZERO_TIME, us
+from repro.tech import ASIC, VIRTEX2PRO
+from tests.core.helpers import DummySlave, small_tech
+from repro.kernel import Simulator
+
+
+class TestContextParameters:
+    def test_three_paper_parameters(self):
+        params = ContextParameters(config_addr=0x1000, size_bytes=256, extra_delay=us(2))
+        assert params.config_addr == 0x1000
+        assert params.size_bytes == 256
+        assert params.extra_delay == us(2)
+
+    def test_defaults(self):
+        assert ContextParameters(0, 1).extra_delay == ZERO_TIME
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContextParameters(config_addr=-1, size_bytes=4)
+        with pytest.raises(ValueError):
+            ContextParameters(config_addr=0, size_bytes=0)
+
+    def test_config_words_rounds_up(self):
+        assert ContextParameters(0, 4).config_words(4) == 1
+        assert ContextParameters(0, 5).config_words(4) == 2
+        assert ContextParameters(0, 1).config_words(4) == 1
+
+
+class TestContext:
+    def _context(self, sim, **kwargs):
+        slave = DummySlave("s", sim=sim, base=0x2000, words=8)
+        defaults = dict(
+            name="s", module=slave, params=ContextParameters(0, 64), gates=500
+        )
+        defaults.update(kwargs)
+        return Context(**defaults)
+
+    def test_address_range_from_module(self):
+        sim = Simulator()
+        ctx = self._context(sim)
+        assert ctx.low_addr == 0x2000
+        assert ctx.high_addr == 0x2000 + 8 * 4 - 1
+        assert ctx.decodes(0x2000)
+        assert ctx.decodes(0x201C)
+        assert not ctx.decodes(0x2020)
+
+    def test_gate_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            self._context(sim, gates=0)
+
+    def test_repr_mentions_placement(self):
+        sim = Simulator()
+        text = repr(self._context(sim))
+        assert "0x2000" in text and "64B" in text
+
+
+class TestDerivation:
+    def test_size_follows_bits_per_gate(self):
+        tech = small_tech(bits_per_gate=8.0)
+        params = context_parameters_for(tech, gates=1000, config_addr=0x0)
+        assert params.size_bytes == 1000  # 8000 bits
+
+    def test_extra_delay_defaults_to_tech_overhead(self):
+        params = context_parameters_for(VIRTEX2PRO, gates=1000, config_addr=0)
+        assert params.extra_delay == VIRTEX2PRO.reconfig_overhead
+
+    def test_extra_delay_override(self):
+        params = context_parameters_for(VIRTEX2PRO, 1000, 0, extra_delay=us(9))
+        assert params.extra_delay == us(9)
+
+    def test_asic_rejected(self):
+        with pytest.raises(ValueError, match="empty context"):
+            context_parameters_for(ASIC, 1000, 0)

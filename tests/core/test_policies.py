@@ -1,0 +1,206 @@
+"""Slot managers and replacement policies — with property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    AreaSlotManager,
+    Context,
+    ContextParameters,
+    FifoPolicy,
+    FixedSlotManager,
+    LruPolicy,
+    PinnedLruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.core.policies import Slot
+from repro.kernel import SimulationError, Simulator
+from tests.core.helpers import DummySlave
+
+
+def make_contexts(n, gates=100):
+    sim = Simulator()
+    out = []
+    for i in range(n):
+        slave = DummySlave(f"s{i}", sim=sim, base=0x1000 * (i + 1))
+        out.append(
+            Context(f"s{i}", slave, ContextParameters(0x100 * i, 64), gates=gates)
+        )
+    return out
+
+
+def load(manager, context, active=None):
+    """Simulate what the scheduler does on a miss."""
+    slot = manager.allocate(context, active)
+    slot.context = context
+    slot.loading = False
+    slot.loaded_at = manager.tick()
+    manager.touch(slot)
+    return slot
+
+
+class TestPolicies:
+    def _slots(self, metas):
+        out = []
+        ctxs = make_contexts(len(metas))
+        for i, (last_use, loaded_at) in enumerate(metas):
+            out.append(Slot(index=i, context=ctxs[i], last_use=last_use, loaded_at=loaded_at))
+        return out
+
+    def test_lru_picks_least_recently_used(self):
+        slots = self._slots([(5, 0), (2, 1), (9, 2)])
+        assert LruPolicy().choose_victim(slots).index == 1
+
+    def test_fifo_picks_oldest_load(self):
+        slots = self._slots([(5, 3), (2, 1), (9, 2)])
+        assert FifoPolicy().choose_victim(slots).index == 1
+
+    def test_random_is_seeded(self):
+        slots = self._slots([(0, 0), (1, 1), (2, 2)])
+        a = [RandomPolicy(seed=5).choose_victim(slots).index for _ in range(3)]
+        b = [RandomPolicy(seed=5).choose_victim(slots).index for _ in range(3)]
+        assert a == b
+
+    def test_pinned_lru_protects_pinned(self):
+        slots = self._slots([(0, 0), (1, 1)])
+        policy = PinnedLruPolicy(pinned=["s0"])
+        assert policy.choose_victim(slots).index == 1
+
+    def test_pinned_all_pinned_rejected(self):
+        slots = self._slots([(0, 0)])
+        policy = PinnedLruPolicy(pinned=["s0"])
+        with pytest.raises(SimulationError, match="pinned"):
+            policy.choose_victim(slots)
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("lru"), LruPolicy)
+        assert isinstance(make_policy("fifo"), FifoPolicy)
+        assert isinstance(make_policy("random", seed=2), RandomPolicy)
+        with pytest.raises(KeyError):
+            make_policy("clock")
+
+
+class TestFixedSlotManager:
+    def test_fills_empty_slots_first(self):
+        manager = FixedSlotManager(2, LruPolicy())
+        a, b = make_contexts(2)
+        load(manager, a)
+        load(manager, b)
+        assert set(manager.resident_contexts()) == {a, b}
+
+    def test_evicts_lru_when_full(self):
+        manager = FixedSlotManager(2, LruPolicy())
+        a, b, c = make_contexts(3)
+        load(manager, a)
+        load(manager, b)
+        manager.touch(manager.slot_of(a))  # a most recent
+        load(manager, c, active=a)
+        assert manager.slot_of(b) is None
+        assert manager.slot_of(a) is not None
+
+    def test_never_evicts_active_when_alternative_exists(self):
+        manager = FixedSlotManager(2, LruPolicy())
+        a, b, c = make_contexts(3)
+        load(manager, a)
+        load(manager, b)
+        # a is LRU but active: b must be the victim.
+        slot = manager.allocate(c, a)
+        assert slot.context is b
+
+    def test_single_slot_replaces_active(self):
+        manager = FixedSlotManager(1, LruPolicy())
+        a, b = make_contexts(2)
+        load(manager, a)
+        slot = manager.allocate(b, a)
+        assert slot.context is a  # replacing the active IS the switch
+
+    def test_has_idle_capacity(self):
+        manager = FixedSlotManager(2, LruPolicy())
+        a, b, c = make_contexts(3)
+        load(manager, a)
+        assert manager.has_idle_capacity(b, active=a)
+        load(manager, b)
+        # Full, but b is evictable while a is active.
+        assert manager.has_idle_capacity(c, active=a)
+
+    def test_invalid_slot_count(self):
+        with pytest.raises(ValueError):
+            FixedSlotManager(0, LruPolicy())
+
+
+class TestAreaSlotManager:
+    def test_multiple_contexts_fit_by_gates(self):
+        manager = AreaSlotManager(250, LruPolicy())
+        a, b = make_contexts(2, gates=100)
+        load(manager, a)
+        load(manager, b)
+        assert set(manager.resident_contexts()) == {a, b}
+
+    def test_eviction_frees_enough_gates(self):
+        manager = AreaSlotManager(250, LruPolicy())
+        a, b, c = make_contexts(3, gates=100)
+        load(manager, a)
+        load(manager, b)
+        load(manager, c, active=b)
+        # a (LRU, not active) evicted; b and c resident (200 <= 250).
+        assert manager.slot_of(a) is None
+        assert set(manager.resident_contexts()) == {b, c}
+
+    def test_oversized_context_rejected(self):
+        manager = AreaSlotManager(50, LruPolicy())
+        (a,) = make_contexts(1, gates=100)
+        with pytest.raises(SimulationError, match="exceeds fabric capacity"):
+            manager.allocate(a, None)
+
+    def test_has_idle_capacity_counts_evictables(self):
+        manager = AreaSlotManager(200, LruPolicy())
+        a, b, c = make_contexts(3, gates=100)
+        load(manager, a)
+        load(manager, b)
+        assert manager.has_idle_capacity(c, active=a)  # can evict b
+        # If both residents were somehow active-protected there'd be no room;
+        # with only one active there always is here.
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AreaSlotManager(0, LruPolicy())
+
+
+class TestResidencyProperties:
+    @given(
+        st.integers(1, 4),
+        st.lists(st.integers(0, 5), min_size=1, max_size=40),
+    )
+    def test_fixed_manager_invariants(self, n_slots, accesses):
+        manager = FixedSlotManager(n_slots, LruPolicy())
+        contexts = make_contexts(6)
+        active = None
+        for index in accesses:
+            ctx = contexts[index]
+            if manager.slot_of(ctx) is None:
+                load(manager, ctx, active)
+            active = ctx
+            # Invariants: never more than n_slots resident; no duplicates;
+            # the most recently requested context is always resident.
+            resident = manager.resident_contexts()
+            assert len(resident) <= n_slots
+            assert len(set(id(c) for c in resident)) == len(resident)
+            assert manager.slot_of(ctx) is not None
+
+    @given(
+        st.integers(100, 400),
+        st.lists(st.integers(0, 5), min_size=1, max_size=40),
+    )
+    def test_area_manager_never_exceeds_capacity(self, capacity, accesses):
+        manager = AreaSlotManager(capacity, LruPolicy())
+        contexts = make_contexts(6, gates=100)
+        active = None
+        for index in accesses:
+            ctx = contexts[index]
+            if manager.slot_of(ctx) is None:
+                load(manager, ctx, active)
+            active = ctx
+            used = sum(c.gates for c in manager.resident_contexts())
+            assert used <= capacity
+            assert manager.slot_of(ctx) is not None

@@ -1,0 +1,61 @@
+"""The DSE driver."""
+
+import pytest
+
+from repro.dse import DsePoint, Explorer, ParameterSpace, best_point
+
+
+def square_evaluator(params):
+    return {"cost": params["x"] ** 2, "gain": -params["x"]}
+
+
+class TestExplorer:
+    def test_evaluates_all_points(self):
+        space = ParameterSpace().add_axis("x", [1, 2, 3])
+        points = Explorer(square_evaluator).run(space)
+        assert [p.metrics["cost"] for p in points] == [1, 4, 9]
+        assert all(p.ok for p in points)
+
+    def test_point_get_falls_back_to_params(self):
+        point = DsePoint(params={"x": 2}, metrics={"cost": 4})
+        assert point.get("cost") == 4
+        assert point.get("x") == 2
+        assert point.get("ghost", "dflt") == "dflt"
+
+    def test_error_capture_mode(self):
+        def flaky(params):
+            if params["x"] == 2:
+                raise RuntimeError("bad point")
+            return {"cost": params["x"]}
+
+        space = ParameterSpace().add_axis("x", [1, 2, 3])
+        points = Explorer(flaky, raise_on_error=False).run(space)
+        assert [p.ok for p in points] == [True, False, True]
+        assert "bad point" in points[1].error
+
+    def test_error_raise_mode(self):
+        def broken(params):
+            raise RuntimeError("boom")
+
+        space = ParameterSpace().add_axis("x", [1])
+        with pytest.raises(RuntimeError, match="boom"):
+            Explorer(broken).run(space)
+
+
+class TestBestPoint:
+    def test_minimize_and_maximize(self):
+        space = ParameterSpace().add_axis("x", [1, 2, 3])
+        points = Explorer(square_evaluator).run(space)
+        assert best_point(points, "cost").params["x"] == 1
+        assert best_point(points, "gain", minimize=False).params["x"] == 1
+
+    def test_failed_points_ignored(self):
+        points = [
+            DsePoint(params={}, metrics={}, error="bad"),
+            DsePoint(params={"x": 5}, metrics={"cost": 10}),
+        ]
+        assert best_point(points, "cost").params["x"] == 5
+
+    def test_all_failed_rejected(self):
+        with pytest.raises(ValueError, match="no successful"):
+            best_point([DsePoint(params={}, metrics={}, error="bad")], "cost")

@@ -1,0 +1,69 @@
+"""The ADRIATIC flow (Figure 3) end to end."""
+
+import pytest
+
+from repro.dse import AdriaticFlow
+from repro.tech import MORPHOSYS
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    flow = AdriaticFlow(
+        ("fir", "fft"),
+        tech=MORPHOSYS,
+        n_frames=1,
+        designer_flags={"fft": {"spec_change_expected": True}},
+    )
+    return flow.run(back_annotate_scale=3.0)
+
+
+class TestStages:
+    def test_stage1_executable_specification(self, flow_result):
+        assert len(flow_result.golden) == 2
+        assert all(out for out in flow_result.golden.values())
+
+    def test_stage3_partitioning_used_profiles(self, flow_result):
+        names = {p.name for p in flow_result.profiles}
+        assert names == {"fir", "fft"}
+        assert all(0 <= p.utilization <= 1 for p in flow_result.profiles)
+        assert set(flow_result.recommendation.candidates) == {"fir", "fft"}
+
+    def test_stage4_transform_happened(self, flow_result):
+        assert flow_result.transform is not None
+        assert "drcf1" in flow_result.transform.netlist.component_names
+
+    def test_stage5_both_architectures_verified(self, flow_result):
+        assert flow_result.baseline_run.outputs_match_spec
+        assert flow_result.mapped_run.outputs_match_spec
+        assert flow_result.mapped_run.switches > 0
+        assert flow_result.baseline_run.switches == 0
+        assert flow_result.mapped_run.makespan_us > flow_result.baseline_run.makespan_us
+
+    def test_stage6_back_annotation_increases_delay(self, flow_result):
+        back = flow_result.back_annotated_run
+        assert back is not None
+        assert back.makespan_us >= flow_result.mapped_run.makespan_us
+        assert back.outputs_match_spec
+
+    def test_summary_rows(self, flow_result):
+        rows = flow_result.summary_rows()
+        assert [r["architecture"] for r in rows] == [
+            "figure-1a baseline",
+            "figure-1b mapped",
+            "back-annotated",
+        ]
+
+
+class TestNoCandidateCase:
+    def test_flow_without_candidates_skips_mapping(self):
+        # A single block matches no rule -> no mapping stage.
+        flow = AdriaticFlow(("viterbi",), tech=MORPHOSYS, n_frames=1)
+        result = flow.run()
+        assert result.recommendation.candidates == []
+        assert result.transform is None
+        assert result.mapped_run is None
+        assert result.baseline_run.outputs_match_spec
+
+    def test_unknown_accels_rejected(self):
+        with pytest.raises(KeyError):
+            AdriaticFlow(("gpu",), tech=MORPHOSYS)

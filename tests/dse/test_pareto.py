@@ -1,0 +1,88 @@
+"""Pareto and crossover analysis."""
+
+import pytest
+
+from repro.dse import DsePoint, crossover_point, dominates, pareto_front
+
+
+def point(**kv):
+    params = {k[2:]: v for k, v in kv.items() if k.startswith("p_")}
+    metrics = {k[2:]: v for k, v in kv.items() if k.startswith("m_")}
+    return DsePoint(params=params, metrics=metrics)
+
+
+class TestDominance:
+    def test_strict_domination(self):
+        a = point(m_lat=1.0, m_area=1.0)
+        b = point(m_lat=2.0, m_area=2.0)
+        objectives = [("lat", "min"), ("area", "min")]
+        assert dominates(a, b, objectives)
+        assert not dominates(b, a, objectives)
+
+    def test_equal_points_do_not_dominate(self):
+        a = point(m_lat=1.0, m_area=1.0)
+        b = point(m_lat=1.0, m_area=1.0)
+        assert not dominates(a, b, [("lat", "min"), ("area", "min")])
+
+    def test_max_direction(self):
+        a = point(m_lat=1.0, m_flex=1.0)
+        b = point(m_lat=1.0, m_flex=0.0)
+        assert dominates(a, b, [("lat", "min"), ("flex", "max")])
+
+
+class TestParetoFront:
+    def test_trade_off_points_survive(self):
+        points = [
+            point(m_lat=1.0, m_area=10.0),
+            point(m_lat=10.0, m_area=1.0),
+            point(m_lat=5.0, m_area=5.0),
+            point(m_lat=11.0, m_area=11.0),  # dominated by all
+        ]
+        front = pareto_front(points, [("lat", "min"), ("area", "min")])
+        assert points[3] not in front
+        assert len(front) == 3
+
+    def test_failed_points_excluded(self):
+        ok = point(m_lat=1.0)
+        bad = DsePoint(params={}, metrics={}, error="x")
+        assert pareto_front([ok, bad], [("lat", "min")]) == [ok]
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            pareto_front([point(m_lat=1.0)], [("lat", "down")])
+
+    def test_single_objective_front_is_minimum(self):
+        points = [point(m_lat=v) for v in (5.0, 1.0, 3.0)]
+        front = pareto_front(points, [("lat", "min")])
+        assert [p.metrics["lat"] for p in front] == [1.0]
+
+
+class TestCrossover:
+    def _sweep(self):
+        points = []
+        for tech in ("a", "b"):
+            for x in (1, 2, 3, 4):
+                # Series a beats b until x=3.
+                value = x if tech == "a" else 2.5
+                points.append(
+                    DsePoint(params={"tech": tech, "x": x}, metrics={"lat": value})
+                )
+        return points
+
+    def test_crossover_located(self):
+        result = crossover_point(
+            self._sweep(), axis="x", metric="lat",
+            series_key="tech", series_a="a", series_b="b",
+        )
+        assert result["crossover"] == 3
+        assert result["axis_values"] == [1, 2, 3, 4]
+        assert result["curve_a"][1] == 1
+
+    def test_no_crossover(self):
+        points = [
+            DsePoint(params={"tech": t, "x": x}, metrics={"lat": 1.0 if t == "a" else 2.0})
+            for t in ("a", "b")
+            for x in (1, 2)
+        ]
+        result = crossover_point(points, "x", "lat", "tech", "a", "b")
+        assert result["crossover"] is None

@@ -1,0 +1,111 @@
+"""The Section 5.1 partitioning rules of thumb."""
+
+import pytest
+
+from repro.dse import BlockProfile, profiles_from_run, recommend_candidates
+
+
+def profile(name, gates=10_000, utilization=0.1, concurrency=0.0, **flags):
+    return BlockProfile(
+        name=name, gates=gates, utilization=utilization, concurrency=concurrency, **flags
+    )
+
+
+class TestRule1SameSizedTimeMultiplexed:
+    def test_group_of_similar_idle_blocks_recommended(self):
+        rec = recommend_candidates(
+            [profile("a", 10_000), profile("b", 12_000), profile("c", 9_000)]
+        )
+        assert set(rec.candidates) == {"a", "b", "c"}
+        assert any("rule1" in r for r in rec.reason("a"))
+
+    def test_single_block_not_rule1(self):
+        rec = recommend_candidates([profile("solo")])
+        assert rec.candidates == []
+        assert "solo" in rec.rejected
+
+    def test_size_mismatch_breaks_group(self):
+        rec = recommend_candidates(
+            [profile("small", gates=1_000), profile("huge", gates=100_000)]
+        )
+        assert rec.candidates == []
+
+    def test_busy_block_excluded(self):
+        rec = recommend_candidates(
+            [
+                profile("idle1", utilization=0.1),
+                profile("idle2", utilization=0.1),
+                profile("hot", utilization=0.9),
+            ]
+        )
+        assert "hot" not in rec.candidates
+        assert "utilization" in rec.rejected["hot"]
+
+    def test_concurrent_block_excluded(self):
+        rec = recommend_candidates(
+            [
+                profile("a"),
+                profile("b"),
+                profile("parallel", concurrency=0.8),
+            ]
+        )
+        assert "parallel" not in rec.candidates
+        assert "concurrently" in rec.rejected["parallel"]
+
+    def test_largest_compatible_group_wins(self):
+        # Three similar small blocks vs two similar big blocks.
+        rec = recommend_candidates(
+            [
+                profile("s1", gates=1_000),
+                profile("s2", gates=1_200),
+                profile("s3", gates=900),
+                profile("b1", gates=50_000),
+                profile("b2", gates=60_000),
+            ]
+        )
+        rule1 = {n for n in rec.candidates if any("rule1" in r for r in rec.reason(n))}
+        assert rule1 == {"s1", "s2", "s3"}
+
+
+class TestRules2And3Flags:
+    def test_spec_change_flag(self):
+        rec = recommend_candidates([profile("modem", spec_change_expected=True)])
+        assert rec.candidates == ["modem"]
+        assert any("rule2" in r for r in rec.reason("modem"))
+
+    def test_next_generation_flag(self):
+        rec = recommend_candidates([profile("codec", next_generation_planned=True)])
+        assert any("rule3" in r for r in rec.reason("codec"))
+
+    def test_flags_apply_even_to_busy_blocks(self):
+        rec = recommend_candidates(
+            [profile("hot", utilization=0.95, spec_change_expected=True)]
+        )
+        assert rec.candidates == ["hot"]
+
+
+class TestProfilesFromRun:
+    def test_utilization_computed(self):
+        profiles = profiles_from_run(
+            {"fir": (12_000, 500.0), "fft": (25_000, 250.0)}, window_ns=1000.0
+        )
+        by_name = {p.name: p for p in profiles}
+        assert by_name["fir"].utilization == pytest.approx(0.5)
+        assert by_name["fft"].utilization == pytest.approx(0.25)
+        assert by_name["fir"].gates == 12_000
+
+    def test_flags_passed_through(self):
+        profiles = profiles_from_run(
+            {"fir": (1, 0.0)},
+            window_ns=1.0,
+            flags={"fir": {"spec_change_expected": True}},
+        )
+        assert profiles[0].spec_change_expected
+
+    def test_utilization_clamped(self):
+        profiles = profiles_from_run({"x": (1, 2000.0)}, window_ns=1000.0)
+        assert profiles[0].utilization == 1.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            profiles_from_run({}, window_ns=0)

@@ -1,0 +1,73 @@
+"""Report rendering: tables and CSV."""
+
+from repro.dse import DsePoint, format_points, format_table, points_to_rows, to_csv, write_csv
+
+
+ROWS = [
+    {"tech": "asic", "lat": 27.43, "flex": False},
+    {"tech": "morphosys", "lat": 144.57, "flex": True},
+]
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(ROWS, title="sweep")
+        lines = text.splitlines()
+        assert lines[0] == "sweep"
+        assert "tech" in lines[1] and "lat" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "asic" in lines[3]
+        assert "morphosys" in lines[4]
+
+    def test_column_selection(self):
+        text = format_table(ROWS, columns=["lat"])
+        assert "tech" not in text
+        assert "144.570" in text
+
+    def test_bool_and_float_formatting(self):
+        text = format_table(ROWS)
+        assert "yes" in text and "no" in text
+        assert "27.430" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table([{"v": 1.5e9}, {"v": 1e-6}])
+        assert "e+09" in text and "e-06" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="t")
+
+
+class TestPointsHelpers:
+    def _points(self):
+        return [
+            DsePoint(params={"tech": "asic"}, metrics={"lat": 1.0}),
+            DsePoint(params={"tech": "bad"}, metrics={}, error="Boom: x"),
+        ]
+
+    def test_points_to_rows_includes_errors(self):
+        rows = points_to_rows(self._points(), ["tech"], ["lat"])
+        assert rows[0] == {"tech": "asic", "lat": 1.0}
+        assert rows[1]["error"] == "Boom: x"
+
+    def test_format_points_appends_error_column(self):
+        text = format_points(self._points(), ["tech"], ["lat"], title="t")
+        assert "error" in text and "Boom" in text
+
+
+class TestCsv:
+    def test_to_csv_roundtrip(self):
+        text = to_csv(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "tech,lat,flex"
+        assert lines[1].startswith("asic,27.43")
+        assert len(lines) == 3
+
+    def test_to_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ROWS, columns=["tech"])
+        content = path.read_text()
+        assert content.splitlines()[0] == "tech"
+        assert "morphosys" in content

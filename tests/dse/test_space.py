@@ -1,0 +1,74 @@
+"""Parameter spaces."""
+
+import pytest
+
+from repro.dse import ParameterSpace
+
+
+class TestParameterSpace:
+    def test_cartesian_product_order(self):
+        space = ParameterSpace().add_axis("a", [1, 2]).add_axis("b", ["x", "y"])
+        points = list(space.points())
+        assert points == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_size_and_len(self):
+        space = ParameterSpace().add_axis("a", [1, 2, 3]).add_axis("b", [True, False])
+        assert space.size == 6
+        assert len(space) == 6
+        assert len(list(space)) == 6
+
+    def test_single_axis(self):
+        space = ParameterSpace().add_axis("only", ["v"])
+        assert list(space) == [{"only": "v"}]
+
+    def test_axis_names(self):
+        space = ParameterSpace().add_axis("b", [1]).add_axis("a", [2])
+        assert space.axis_names == ["b", "a"]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ParameterSpace().add_axis("a", [])
+
+    def test_duplicate_axis_rejected(self):
+        space = ParameterSpace().add_axis("a", [1])
+        with pytest.raises(ValueError, match="duplicate"):
+            space.add_axis("a", [2])
+
+
+class TestSampling:
+    def _space(self):
+        return (
+            ParameterSpace()
+            .add_axis("a", [1, 2, 3, 4])
+            .add_axis("b", ["x", "y", "z"])
+        )
+
+    def test_sample_is_deterministic_subset(self):
+        space = self._space()
+        sample1 = space.sample(5, seed=3)
+        sample2 = space.sample(5, seed=3)
+        assert sample1 == sample2
+        assert len(sample1) == 5
+        full = list(space.points())
+        assert all(point in full for point in sample1)
+
+    def test_sample_points_distinct(self):
+        sample = self._space().sample(6, seed=9)
+        assert len({tuple(sorted(p.items())) for p in sample}) == 6
+
+    def test_oversample_returns_full_space(self):
+        space = self._space()
+        assert space.sample(100) == list(space.points())
+
+    def test_different_seeds_differ(self):
+        space = self._space()
+        assert space.sample(5, seed=1) != space.sample(5, seed=2)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            self._space().sample(0)

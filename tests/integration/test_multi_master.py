@@ -1,0 +1,108 @@
+"""Two CPUs contending for one time-shared fabric.
+
+The DRCF is "a time-slice scheduled application specific hardware block"
+(Section 5.1): independent masters invoking different contexts serialize
+on the fabric, and the instrumentation attributes the waiting correctly.
+"""
+
+import pytest
+
+from repro.apps import (
+    JobRunner,
+    JobSpec,
+    golden_outputs,
+    make_reconfigurable_netlist,
+)
+from repro.cpu import Processor
+from repro.kernel import Simulator, ZERO_TIME
+from repro.tech import MORPHOSYS, VARICORE
+
+
+def two_cpu_system(tech):
+    netlist, info = make_reconfigurable_netlist(("fir", "xtea"), tech=tech)
+    netlist.add("cpu2", Processor, master_of="system_bus", clock_freq_hz=200e6)
+    sim = Simulator()
+    design = netlist.elaborate(sim)
+    return sim, design, info
+
+
+def jobs_for(accel, n):
+    if accel == "fir":
+        return [
+            JobSpec("fir", [10 * i + 1, 2, 3, 4], param=2, coefs=[1 << 14, 1 << 13],
+                    label=f"fir{i}")
+            for i in range(n)
+        ]
+    return [
+        JobSpec("xtea", [5 * i + 1, 7], param=0, coefs=[1, 2, 3, 4], label=f"xtea{i}")
+        for i in range(n)
+    ]
+
+
+class TestConcurrentMasters:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        sim, design, info = two_cpu_system(VARICORE)
+        runner1 = JobRunner(info.accel_bases, info.buffer_words)
+        runner2 = JobRunner(info.accel_bases, info.buffer_words)
+        design["cpu"].run_task(runner1.task(jobs_for("fir", 3)), name="wl1")
+        design["cpu2"].run_task(runner2.task(jobs_for("xtea", 3)), name="wl2")
+        sim.run()
+        return sim, design, runner1, runner2
+
+    def test_both_streams_complete_correctly(self, run_result):
+        sim, design, runner1, runner2 = run_result
+        assert len(runner1.results) == 3 and len(runner2.results) == 3
+        for runner in (runner1, runner2):
+            for result in runner.results:
+                assert result.outputs == golden_outputs(result.spec), result.spec.label
+
+    def test_fabric_serialized_interleaved_streams(self, run_result):
+        sim, design, runner1, runner2 = run_result
+        stats = design["drcf1"].stats
+        # Both contexts were exercised; switching happened because the two
+        # masters interleave on a single-context technology.
+        assert stats.per_context["fir"].calls > 0
+        assert stats.per_context["xtea"].calls > 0
+        assert stats.total_switches >= 2
+        # Calls spent time waiting on switches triggered by the other master.
+        total_wait = ZERO_TIME
+        for context_stats in stats.per_context.values():
+            total_wait = total_wait + context_stats.call_wait_time
+        assert total_wait > ZERO_TIME
+
+    def test_multi_context_device_reduces_cross_master_thrash(self):
+        makespans = {}
+        switches = {}
+        for tech in (VARICORE, MORPHOSYS):
+            sim, design, info = two_cpu_system(tech)
+            runner1 = JobRunner(info.accel_bases, info.buffer_words)
+            runner2 = JobRunner(info.accel_bases, info.buffer_words)
+            design["cpu"].run_task(runner1.task(jobs_for("fir", 3)), name="wl1")
+            design["cpu2"].run_task(runner2.task(jobs_for("xtea", 3)), name="wl2")
+            sim.run()
+            makespans[tech.name] = sim.now
+            switches[tech.name] = design["drcf1"].stats.fetch_misses
+        # Two resident contexts absorb the cross-master alternation: only
+        # the two cold loads miss, vs continual refetching on one slot.
+        assert switches["morphosys"] == 2
+        assert switches["varicore"] > 2
+        assert makespans["morphosys"] < makespans["varicore"]
+
+    def test_deterministic_under_contention(self):
+        results = []
+        for _ in range(2):
+            sim, design, info = two_cpu_system(VARICORE)
+            runner1 = JobRunner(info.accel_bases, info.buffer_words)
+            runner2 = JobRunner(info.accel_bases, info.buffer_words)
+            design["cpu"].run_task(runner1.task(jobs_for("fir", 2)), name="wl1")
+            design["cpu2"].run_task(runner2.task(jobs_for("xtea", 2)), name="wl2")
+            sim.run()
+            results.append(
+                (
+                    sim.now,
+                    [r.end_ns for r in runner1.results],
+                    [r.end_ns for r in runner2.results],
+                )
+            )
+        assert results[0] == results[1]

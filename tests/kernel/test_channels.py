@@ -1,0 +1,179 @@
+"""FIFO, mutex, semaphore: blocking semantics, fairness, bookkeeping."""
+
+import pytest
+
+from repro.kernel import Fifo, Mutex, Semaphore, SimulationError, ns
+from tests.conftest import drive
+
+
+class TestFifo:
+    def test_put_get_order(self, sim):
+        fifo = Fifo(sim, capacity=8, name="f")
+        out = []
+
+        def producer():
+            for i in range(5):
+                yield from fifo.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield from fifo.get()
+                out.append(item)
+
+        sim.spawn("p", producer)
+        sim.spawn("c", consumer)
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_put_blocks_when_full(self, sim):
+        fifo = Fifo(sim, capacity=2, name="f")
+        timeline = []
+
+        def producer():
+            for i in range(4):
+                yield from fifo.put(i)
+                timeline.append(("put", i, sim.now.to_ns()))
+
+        def consumer():
+            yield ns(10)
+            for _ in range(4):
+                yield from fifo.get()
+                yield ns(10)
+
+        sim.spawn("p", producer)
+        sim.spawn("c", consumer)
+        sim.run()
+        # Third put had to wait for the consumer's first get at t=10.
+        assert timeline[0][2] == 0.0 and timeline[1][2] == 0.0
+        assert timeline[2][2] == 10.0
+
+    def test_get_blocks_when_empty(self, sim):
+        fifo = Fifo(sim, capacity=2, name="f")
+        got = []
+
+        def consumer():
+            item = yield from fifo.get()
+            got.append((item, sim.now.to_ns()))
+
+        def producer():
+            yield ns(5)
+            yield from fifo.put(42)
+
+        sim.spawn("c", consumer)
+        sim.spawn("p", producer)
+        sim.run()
+        assert got == [(42, 5.0)]
+
+    def test_nb_operations(self, sim):
+        fifo = Fifo(sim, capacity=1, name="f")
+        assert fifo.nb_get() is None
+        assert fifo.nb_put(1)
+        assert not fifo.nb_put(2)  # full
+        assert fifo.is_full
+        assert fifo.nb_get() == 1
+        assert fifo.is_empty
+
+    def test_unbounded_fifo_never_full(self, sim):
+        fifo = Fifo(sim, capacity=None, name="f")
+        for i in range(1000):
+            assert fifo.nb_put(i)
+        assert not fifo.is_full
+        assert len(fifo) == 1000
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Fifo(sim, capacity=0)
+
+
+class TestMutex:
+    def test_fifo_granting(self, sim):
+        mutex = Mutex(sim, "m")
+        order = []
+
+        def agent(label, hold_ns):
+            def body():
+                yield from mutex.lock(label)
+                order.append((label, sim.now.to_ns()))
+                yield ns(hold_ns)
+                mutex.unlock()
+
+            return body
+
+        sim.spawn("a", agent("a", 10))
+        sim.spawn("b", agent("b", 10))
+        sim.spawn("c", agent("c", 10))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 10.0), ("c", 20.0)]
+
+    def test_try_lock(self, sim):
+        mutex = Mutex(sim, "m")
+        assert mutex.try_lock("x")
+        assert not mutex.try_lock("y")
+        assert mutex.owner == "x"
+        mutex.unlock()
+        assert mutex.owner is None
+
+    def test_unlock_while_unlocked_rejected(self, sim):
+        mutex = Mutex(sim, "m")
+        with pytest.raises(SimulationError, match="not locked"):
+            mutex.unlock()
+
+    def test_waiters_visible(self, sim):
+        mutex = Mutex(sim, "m")
+        mutex.try_lock("owner")
+
+        def blocked():
+            yield from mutex.lock("late")
+
+        sim.spawn("late", blocked)
+        sim.run()
+        assert mutex.waiters == ["late"]
+        assert mutex.contention_count == 1
+
+    def test_reentrant_use_after_release(self, sim):
+        mutex = Mutex(sim, "m")
+        count = []
+
+        def body():
+            for _ in range(3):
+                yield from mutex.lock("p")
+                count.append(sim.now.to_ns())
+                mutex.unlock()
+                yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        assert len(count) == 3
+
+
+class TestSemaphore:
+    def test_counting(self, sim):
+        sem = Semaphore(sim, 2, "s")
+        grants = []
+
+        def worker(label):
+            def body():
+                yield from sem.wait()
+                grants.append((label, sim.now.to_ns()))
+                yield ns(10)
+                sem.post()
+
+            return body
+
+        for label in ("a", "b", "c"):
+            sim.spawn(label, worker(label))
+        sim.run()
+        at_zero = [g for g in grants if g[1] == 0.0]
+        assert len(at_zero) == 2  # two tokens available immediately
+        assert ("c", 10.0) in grants
+
+    def test_try_wait(self, sim):
+        sem = Semaphore(sim, 1, "s")
+        assert sem.try_wait()
+        assert not sem.try_wait()
+        sem.post()
+        assert sem.count == 1
+
+    def test_negative_initial_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, -1)

@@ -1,0 +1,176 @@
+"""BitVector algebra: wrapping, slicing, signedness — with property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel import BitVector, saturate_signed, sint, uint
+
+widths = st.integers(1, 64)
+
+
+def vec_and_width():
+    return widths.flatmap(
+        lambda w: st.tuples(st.integers(0, (1 << w) - 1), st.just(w))
+    )
+
+
+class TestConstruction:
+    def test_masking(self):
+        assert uint(0x1FF, 8).unsigned == 0xFF
+        assert uint(-1, 8).unsigned == 0xFF
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 0)
+
+    def test_copy_constructor(self):
+        a = uint(0xAB, 8)
+        b = BitVector(a, 4)
+        assert b.unsigned == 0xB
+
+    def test_int_conversion(self):
+        assert int(uint(42, 8)) == 42
+        assert hex(uint(0x2A, 8)) == "0x2a"  # __index__
+
+
+class TestSignedness:
+    def test_signed_view(self):
+        assert uint(0xFF, 8).signed == -1
+        assert uint(0x7F, 8).signed == 127
+        assert uint(0x80, 8).signed == -128
+
+    def test_from_signed_roundtrip(self):
+        assert sint(-5, 8).unsigned == 0xFB
+        assert sint(-5, 8).signed == -5
+
+    def test_resize_signed_extends_sign(self):
+        assert sint(-2, 4).resize_signed(8).signed == -2
+        assert sint(-2, 4).resize(8).unsigned == 0x0E  # zero extension
+
+    @given(widths, st.integers())
+    def test_signed_in_range(self, w, v):
+        s = BitVector(v, w).signed
+        assert -(1 << (w - 1)) <= s < (1 << (w - 1))
+
+
+class TestBitAccess:
+    def test_single_bit(self):
+        v = uint(0b1010, 4)
+        assert v[0].unsigned == 0
+        assert v[1].unsigned == 1
+        assert v[-1].unsigned == 1  # MSB
+
+    def test_slice_high_low(self):
+        v = uint(0xABCD, 16)
+        assert v[15:8].unsigned == 0xAB
+        assert v[7:0].unsigned == 0xCD
+        assert v[11:4].unsigned == 0xBC
+
+    def test_slice_errors(self):
+        v = uint(0xF, 4)
+        with pytest.raises(ValueError):
+            v[0:3]  # high < low
+        with pytest.raises(IndexError):
+            v[9]
+        with pytest.raises(ValueError):
+            v[3:0:2]
+
+    def test_set_bit(self):
+        v = uint(0b0000, 4)
+        assert v.set_bit(2, 1).unsigned == 0b0100
+        assert uint(0b1111, 4).set_bit(0, 0).unsigned == 0b1110
+
+    def test_concat(self):
+        hi, lo = uint(0xA, 4), uint(0xB, 4)
+        joined = hi.concat(lo)
+        assert joined.width == 8
+        assert joined.unsigned == 0xAB
+
+    def test_popcount(self):
+        assert uint(0b1011, 4).popcount() == 3
+
+    def test_reversed_bits(self):
+        assert uint(0b0001, 4).reversed_bits().unsigned == 0b1000
+        assert uint(0b1101, 4).reversed_bits().unsigned == 0b1011
+
+
+class TestArithmetic:
+    def test_wrapping_add(self):
+        assert (uint(0xFF, 8) + 1).unsigned == 0
+        assert (uint(200, 8) + uint(100, 8)).unsigned == (300) % 256
+
+    def test_wrapping_sub(self):
+        assert (uint(0, 8) - 1).unsigned == 0xFF
+        assert (5 - uint(3, 8)).unsigned == 2
+
+    def test_mul_and_shifts(self):
+        assert (uint(0x10, 8) * 0x11).unsigned == 0x10  # wraps
+        assert (uint(1, 8) << 3).unsigned == 8
+        assert (uint(0x80, 8) >> 4).unsigned == 0x08
+
+    def test_bitwise(self):
+        assert (uint(0b1100, 4) & 0b1010).unsigned == 0b1000
+        assert (uint(0b1100, 4) | 0b1010).unsigned == 0b1110
+        assert (uint(0b1100, 4) ^ 0b1010).unsigned == 0b0110
+        assert (~uint(0b1100, 4)).unsigned == 0b0011
+
+    def test_neg(self):
+        assert (-uint(1, 8)).unsigned == 0xFF
+
+    def test_comparisons(self):
+        assert uint(3, 8) < uint(5, 8)
+        assert uint(3, 8) < 5
+        assert uint(5, 8) >= 5
+        assert uint(5, 8) == 5
+        assert uint(5, 8) != uint(5, 4)  # width matters for equality
+
+    def test_hashable(self):
+        assert len({uint(1, 8), uint(1, 8), uint(1, 4)}) == 2
+
+
+class TestArithmeticProperties:
+    @given(vec_and_width(), st.integers(-(1 << 64), 1 << 64))
+    def test_add_wraps_mod_2w(self, vw, k):
+        value, w = vw
+        v = BitVector(value, w)
+        assert (v + k).unsigned == (value + k) % (1 << w)
+
+    @given(vec_and_width())
+    def test_double_negation(self, vw):
+        value, w = vw
+        v = BitVector(value, w)
+        assert (-(-v)) == v
+        assert (~~v) == v
+
+    @given(vec_and_width())
+    def test_reversed_bits_involution(self, vw):
+        value, w = vw
+        v = BitVector(value, w)
+        assert v.reversed_bits().reversed_bits() == v
+
+    @given(vec_and_width(), vec_and_width())
+    def test_concat_width_and_split(self, a_vw, b_vw):
+        (av, aw), (bv, bw) = a_vw, b_vw
+        a, b = BitVector(av, aw), BitVector(bv, bw)
+        joined = a.concat(b)
+        assert joined.width == aw + bw
+        assert joined[aw + bw - 1 : bw] == a
+        assert joined[bw - 1 : 0] == b
+
+    @given(vec_and_width())
+    def test_signed_unsigned_consistency(self, vw):
+        value, w = vw
+        v = BitVector(value, w)
+        assert BitVector.from_signed(v.signed, w) == v
+
+
+class TestSaturation:
+    def test_saturate_bounds(self):
+        assert saturate_signed(10**9, 16) == 32767
+        assert saturate_signed(-(10**9), 16) == -32768
+        assert saturate_signed(5, 16) == 5
+
+    @given(st.integers(), st.integers(2, 64))
+    def test_saturate_in_range(self, v, w):
+        s = saturate_signed(v, w)
+        assert -(1 << (w - 1)) <= s <= (1 << (w - 1)) - 1

@@ -1,0 +1,87 @@
+"""Simulator API surface: hooks, scheduling helpers, guards."""
+
+import pytest
+
+from repro.kernel import ElaborationError, SchedulingError, Simulator, ns
+
+
+class TestElaborationHooks:
+    def test_hook_runs_once_before_first_evaluation(self, sim):
+        order = []
+        sim.add_end_of_elaboration_hook(lambda: order.append("hook"))
+
+        def body():
+            order.append("process")
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        sim.run()  # second run must not re-run the hook
+        assert order == ["hook", "process"]
+
+    def test_hook_after_start_rejected(self, sim):
+        sim.run()
+        with pytest.raises(ElaborationError, match="already started"):
+            sim.add_end_of_elaboration_hook(lambda: None)
+
+
+class TestScheduleHelper:
+    def test_callback_fires_at_delay(self, sim):
+        fired = []
+        sim.schedule(ns(7), lambda: fired.append(sim.now.to_ns()))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        action = sim.schedule(ns(7), lambda: fired.append(True))
+        action.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_ordering_of_equal_times(self, sim):
+        fired = []
+        sim.schedule(ns(5), lambda: fired.append("first"))
+        sim.schedule(ns(5), lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
+
+class TestGuards:
+    def test_run_is_not_reentrant(self, sim):
+        def body():
+            sim.run()
+            yield ns(1)
+
+        sim.spawn("p", body)
+        with pytest.raises(Exception, match="not reentrant"):
+            sim.run()
+
+    def test_stats_accumulate(self, sim):
+        def body():
+            for _ in range(3):
+                yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        stats = sim.stats.as_dict()
+        assert stats["process_executions"] >= 4  # start + 3 resumes
+        assert stats["timed_activations"] >= 3
+
+    def test_repr_mentions_time(self, sim):
+        sim.run()
+        assert "now=" in repr(sim)
+
+
+class TestTraceHooks:
+    def test_hook_called_at_time_advances(self, sim):
+        times = []
+        sim.trace_hooks.append(lambda t: times.append(t.to_ns()))
+
+        def body():
+            yield ns(5)
+            yield ns(5)
+
+        sim.spawn("p", body)
+        sim.run()
+        assert times == [5.0, 10.0]

@@ -1,0 +1,102 @@
+"""VCD tracing and timeline recording."""
+
+import pytest
+
+from repro.kernel import Signal, TimelineRecorder, VcdTracer, ns
+
+
+class TestVcdTracer:
+    def _traced_run(self, sim):
+        tracer = VcdTracer("design")
+        flag = Signal(sim, False, "flag")
+        count = Signal(sim, 0, "count")
+        tracer.trace(flag, width=1)
+        tracer.trace(count, name="counter", width=8)
+
+        def body():
+            yield ns(1)
+            flag.write(True)
+            count.write(3)
+            yield ns(1)
+            count.write(7)
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        return tracer
+
+    def test_header_and_vars(self, sim):
+        tracer = self._traced_run(sim)
+        text = tracer.dumps()
+        assert "$timescale 1ps $end" in text
+        assert "$scope module design $end" in text
+        assert "$var wire 1" in text
+        assert "counter" in text
+        assert "$enddefinitions $end" in text
+
+    def test_changes_recorded_with_times(self, sim):
+        tracer = self._traced_run(sim)
+        text = tracer.dumps()
+        assert "#0" in text  # initial values
+        assert "#1000" in text  # 1 ns = 1000 ps
+        assert "#2000" in text
+        # initial (2) + flag change + two count changes
+        assert tracer.change_count == 5
+
+    def test_scalar_and_vector_formats(self, sim):
+        tracer = self._traced_run(sim)
+        lines = tracer.dumps().splitlines()
+        assert any(line.startswith("1") and len(line) <= 3 for line in lines)
+        assert any(line.startswith("b111 ") for line in lines)
+
+    def test_dump_to_file(self, sim, tmp_path):
+        tracer = self._traced_run(sim)
+        path = tmp_path / "wave.vcd"
+        tracer.dump(str(path))
+        assert path.read_text().startswith("$date")
+
+    def test_id_generation_unique(self):
+        ids = {VcdTracer._make_id(i) for i in range(500)}
+        assert len(ids) == 500
+
+
+class TestTimelineRecorder:
+    def test_track_busy_time(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(0), ns(5), "ctx", "a")
+        recorder.record(ns(10), ns(12), "ctx", "b")
+        assert recorder.track_busy_time("ctx") == ns(7)
+        assert recorder.track_busy_time("other") == ns(0)
+
+    def test_rows_sorted(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(10), ns(12), "t", "b")
+        recorder.record(ns(0), ns(5), "t", "a")
+        rows = recorder.rows
+        assert rows[0][3] == "a" and rows[1][3] == "b"
+
+    def test_invalid_interval(self):
+        recorder = TimelineRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(ns(5), ns(1), "t", "x")
+
+    def test_ascii_rendering(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(0), ns(50), "active", "fir")
+        recorder.record(ns(50), ns(100), "reconfig", "fft")
+        art = recorder.render_ascii(width=20)
+        assert "active" in art and "reconfig" in art
+        assert "f" in art
+
+    def test_empty_timeline(self):
+        assert "empty" in TimelineRecorder().render_ascii()
+
+    def test_csv_export(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(0), ns(5), "active", "fir")
+        recorder.record(ns(5), ns(9), "reconfig", "fft")
+        csv_text = recorder.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "start_ns,end_ns,track,label"
+        assert lines[1] == "0.0,5.0,active,fir"
+        assert lines[2] == "5.0,9.0,reconfig,fft"

@@ -1,0 +1,95 @@
+"""Figure 2 regeneration: efficiency bands, ordering, span."""
+
+import pytest
+
+from repro.tech import (
+    ASIC,
+    FIGURE2_CLASSES,
+    MORPHOSYS,
+    VARICORE,
+    VIRTEX2PRO,
+    architecture_class,
+    class_for_technology,
+    efficiency_span_factor,
+    efficiency_table,
+    estimate_efficiency,
+    instruction_processor_efficiency,
+)
+
+
+class TestBands:
+    def test_five_classes_in_flexibility_order(self):
+        flex = [c.flexibility for c in FIGURE2_CLASSES]
+        assert flex == sorted(flex, reverse=True)
+        assert len(FIGURE2_CLASSES) == 5
+
+    def test_efficiency_increases_as_flexibility_decreases(self):
+        # The core trade-off of Figure 2.
+        lows = [c.mops_per_mw[0] for c in FIGURE2_CLASSES]
+        assert lows == sorted(lows)
+
+    def test_bands_are_contiguous_decades(self):
+        for a, b in zip(FIGURE2_CLASSES, FIGURE2_CLASSES[1:]):
+            assert a.mops_per_mw[1] == pytest.approx(b.mops_per_mw[0])
+
+    def test_span_is_factor_100_to_1000_plus(self):
+        # The figure annotates "Factor of 100-1000" between processors and
+        # dedicated hardware.
+        assert efficiency_span_factor() >= 100
+
+    def test_lookup(self):
+        assert architecture_class("gpp").flexibility == 5
+        with pytest.raises(KeyError):
+            architecture_class("quantum")
+
+    def test_computation_styles(self):
+        assert architecture_class("gpp").computation_style == "temporal"
+        assert architecture_class("asic").computation_style == "spatial"
+
+
+class TestClassAssignment:
+    def test_reconfigurable_presets_classified(self):
+        for tech in (VIRTEX2PRO, VARICORE, MORPHOSYS):
+            assert class_for_technology(tech).key == "reconfigurable"
+        assert class_for_technology(ASIC).key == "asic"
+
+
+class TestModeledEfficiency:
+    def test_reconfigurable_presets_land_in_or_near_band(self):
+        band = architecture_class("reconfigurable").mops_per_mw
+        for tech in (VIRTEX2PRO, VARICORE, MORPHOSYS):
+            value = estimate_efficiency(tech)
+            # Within the printed decade, with half-decade tolerance.
+            assert band[0] / 3 <= value <= band[1] * 3, (tech.name, value)
+
+    def test_asic_beats_reconfigurable(self):
+        asic = estimate_efficiency(ASIC)
+        for tech in (VIRTEX2PRO, VARICORE, MORPHOSYS):
+            assert asic > estimate_efficiency(tech)
+
+    def test_reconfigurable_beats_instruction_processors(self):
+        gpp = instruction_processor_efficiency("gpp")
+        dsp = instruction_processor_efficiency("dsp_asip")
+        for tech in (VIRTEX2PRO, VARICORE, MORPHOSYS):
+            value = estimate_efficiency(tech)
+            assert value > dsp > gpp
+
+    def test_invalid_gate_count(self):
+        with pytest.raises(ValueError):
+            estimate_efficiency(ASIC, gates=0)
+
+
+class TestTable:
+    def test_table_regenerates_figure2(self):
+        rows = efficiency_table([VIRTEX2PRO, VARICORE, MORPHOSYS, ASIC])
+        assert [r["class"] for r in rows] == [
+            "gpp", "embedded", "dsp_asip", "reconfigurable", "asic",
+        ]
+        reconf_row = rows[3]
+        assert set(reconf_row["modeled"]) == {"virtex2pro", "varicore", "morphosys"}
+        asic_row = rows[4]
+        assert set(asic_row["modeled"]) == {"asic"}
+
+    def test_table_without_techs(self):
+        rows = efficiency_table()
+        assert all(row["modeled"] == {} for row in rows)

@@ -1,0 +1,131 @@
+"""Technology parameter model: derived quantities and validation."""
+
+import pytest
+
+from repro.kernel import ZERO_TIME, us
+from repro.tech import ReconfigTechnology
+
+
+def make_tech(**overrides):
+    base = dict(
+        name="test",
+        granularity="fine",
+        fabric_clock_hz=100e6,
+        config_port_width_bits=8,
+        config_port_freq_hz=50e6,
+        bits_per_gate=10.0,
+        context_slots=1,
+        speed_factor=0.5,
+    )
+    base.update(overrides)
+    return ReconfigTechnology(**base)
+
+
+class TestValidation:
+    def test_unknown_granularity(self):
+        with pytest.raises(ValueError, match="granularity"):
+            make_tech(granularity="quantum")
+
+    def test_zero_config_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            make_tech(config_port_width_bits=0)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError, match="slot"):
+            make_tech(context_slots=0)
+
+    def test_zero_speed_factor_rejected(self):
+        with pytest.raises(ValueError, match="speed_factor"):
+            make_tech(speed_factor=0)
+
+    def test_asic_skips_reconfig_validation(self):
+        asic = ReconfigTechnology(
+            name="a",
+            granularity="none",
+            fabric_clock_hz=200e6,
+            config_port_width_bits=0,
+            config_port_freq_hz=0,
+            bits_per_gate=0,
+        )
+        assert not asic.is_reconfigurable
+
+
+class TestDerivedQuantities:
+    def test_context_size_scales_with_gates(self):
+        tech = make_tech(bits_per_gate=10.0)
+        assert tech.context_size_bits(1000) == 10_000
+        assert tech.context_size_bytes(1000) == 1250
+
+    def test_context_size_rounds_up(self):
+        tech = make_tech(bits_per_gate=0.3)
+        assert tech.context_size_bits(10) == 3
+        assert tech.context_size_bytes(10) == 1
+
+    def test_raw_load_time_is_port_bound(self):
+        tech = make_tech(config_port_width_bits=8, config_port_freq_hz=50e6)
+        # 4000 bits / 8 bits per beat = 500 beats @ 20 ns = 10 us.
+        assert tech.raw_load_time(4000) == us(10)
+
+    def test_reconfig_time_adds_overhead(self):
+        tech = make_tech(reconfig_overhead=us(3))
+        assert tech.reconfig_time(4000) == tech.raw_load_time(4000) + us(3)
+
+    def test_asic_has_zero_reconfig(self):
+        asic = ReconfigTechnology(
+            name="a", granularity="none", fabric_clock_hz=1e6,
+            config_port_width_bits=1, config_port_freq_hz=1, bits_per_gate=1,
+        )
+        assert asic.context_size_bits(10_000) == 0
+        assert asic.reconfig_time(10_000) == ZERO_TIME
+        assert asic.activation_time() == ZERO_TIME
+
+    def test_block_cycles_derated_by_speed_factor(self):
+        tech = make_tech(speed_factor=0.5)
+        assert tech.block_cycles(100) == 200
+        assert make_tech(speed_factor=1.0).block_cycles(100) == 100
+
+    def test_block_compute_time(self):
+        tech = make_tech(speed_factor=1.0, fabric_clock_hz=100e6)
+        assert tech.block_compute_time(100) == us(1)
+
+    def test_config_bandwidth(self):
+        tech = make_tech(config_port_width_bits=8, config_port_freq_hz=50e6)
+        assert tech.config_bandwidth_bits_per_s == 400e6
+
+
+class TestAreaPower:
+    def test_area_scales_with_gates(self):
+        tech = make_tech(area_per_gate_um2=5.0)
+        assert tech.fabric_area_um2(1000) == 5000.0
+
+    def test_active_power_uses_clock(self):
+        tech = make_tech(active_power_w_per_gate_mhz=1e-7, fabric_clock_hz=100e6)
+        assert tech.active_power_w(1000) == pytest.approx(1000 * 1e-7 * 100)
+
+    def test_energy_integrates_power(self):
+        tech = make_tech()
+        power = tech.active_power_w(1000)
+        assert tech.active_energy_j(1000, us(10)) == pytest.approx(power * 10e-6)
+
+    def test_varicore_power_figure(self):
+        # Chapter 3 prints 0.075 uW/gate/MHz and ~240 mW at 100 MHz, 80%
+        # utilization -> 240 mW corresponds to ~32k active gates.
+        from repro.tech import VARICORE
+
+        gates = int(0.24 / (VARICORE.active_power_w_per_gate_mhz * 100))
+        assert 25_000 <= gates <= 40_000
+
+
+class TestScaled:
+    def test_scaled_overrides_fields(self):
+        tech = make_tech()
+        faster = tech.scaled(name="fast", config_port_freq_hz=100e6)
+        assert faster.name == "fast"
+        assert faster.config_port_freq_hz == 100e6
+        assert faster.bits_per_gate == tech.bits_per_gate
+        # Original untouched (frozen dataclass).
+        assert tech.config_port_freq_hz == 50e6
+
+    def test_describe_mentions_key_facts(self):
+        text = make_tech(background_load=True, context_slots=2).describe()
+        assert "fine" in text and "2 context slot" in text and "background" in text

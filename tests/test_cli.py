@@ -1,0 +1,109 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_tech_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--tech", "stratix"])
+
+    def test_unknown_accel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--accels", "fir,gpu"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.tech == "morphosys"
+        assert args.accels == ["fir", "fft", "viterbi", "xtea"]
+        assert args.frames == 2
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "technology presets" in out
+        assert "virtex2pro" in out
+        assert "Figure 2 bands" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--accels", "fir,xtea", "--tech", "morphosys", "--frames", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig-1a (dedicated)" in out
+        assert "fig-1b (morphosys)" in out
+        assert "verified against the executable specification" in out
+
+    def test_sweep_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "sweep",
+                "--techs", "asic,morphosys",
+                "--workloads", "interleaved",
+                "--accels", "fir,xtea",
+                "--frames", "1",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DSE sweep" in out
+        content = csv_path.read_text()
+        assert content.startswith("tech,workload")
+        assert "morphosys" in content
+
+    def test_flow(self, capsys):
+        code = main(
+            ["flow", "--accels", "fir,fft", "--tech", "varicore", "--frames", "1",
+             "--back-annotate-scale", "2.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partitioning recommendation" in out
+        assert "figure-1a baseline" in out
+        assert "back-annotated" in out
+
+    def test_transform_with_listing(self, capsys):
+        code = main(["transform", "--accels", "fir,fft", "--tech", "virtex2pro", "--listing"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "def build_top(sim):" in out
+        assert "+ drcf1 = Drcf(...)" in out
+        assert "class drcf_drcf1" in out
+        assert "# context fir:" in out
+
+    def test_experiments_missing_path(self, capsys):
+        assert main(["experiments", "--path", "/nonexistent"]) == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_experiments_runs_one_bench(self, capsys):
+        import os
+
+        bench_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+        code = main(
+            ["experiments", "--path", bench_dir, "--filter", "e2_figure2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regenerated tables archived" in out
+
+    def test_deadlock_matrix(self, capsys):
+        assert main(["deadlock"]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock condition" in out
+        # Exactly one configuration fails to complete its jobs: blocking +
+        # shared bus.
+        failing = [line for line in out.splitlines() if "0/2" in line]
+        assert len(failing) == 1
+        assert "blocking" in failing[0]
+        assert out.count("2/2") == 3
