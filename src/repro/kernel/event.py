@@ -13,18 +13,38 @@ An event carries at most one pending notification.  A pending notification
 is only replaced by an *earlier* one: immediate overrides delta and timed,
 delta overrides timed, and an earlier timed notification overrides a later
 one.  ``cancel()`` removes any pending delta/timed notification.
+
+Hot-path design notes (these structures sit under every notification in
+the system, so their costs multiply into everything):
+
+* Waiter sets are insertion-ordered dicts, giving O(1) add/remove while
+  preserving the deterministic registration-order iteration the scheduler
+  guarantees (a list would make ``remove`` O(n) per disarm — quadratic for
+  fan-out patterns).
+* A cancelled delta notification does not search the simulator's delta
+  queue; the queue entry goes *stale* and is skipped when popped.
+  ``_delta_entries`` counts this event's entries (live + stale) in the
+  queue; because re-notification always appends, only the newest entry can
+  be live, so an entry fires iff it is the last one out and a delta is
+  still pending — reproducing exactly the ordering of eager removal.
+* ``last_trigger_time`` is stored as a plain femtosecond integer and
+  wrapped into a :class:`SimTime` only on inspection.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from .errors import SchedulingError
-from .simtime import SimTime, ZERO_TIME
+from .simtime import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .process import Process, WaitHandle
-    from .simulator import Simulator, TimedAction
+    from .process import Process
+    from .simulator import Simulator
+
+#: Sentinel stored in ``Event._pending`` while a delta notification pends.
+#: Always compared with ``is``.
+_DELTA = "delta"
 
 
 class Event:
@@ -38,15 +58,31 @@ class Event:
       references this event; they disarm once resumed.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "_static_waiters",
+        "_dynamic_waiters",
+        "_pending",
+        "_trigger_count",
+        "_last_trigger_fs",
+        "_delta_entries",
+    )
+
     def __init__(self, sim: "Simulator", name: str = "event") -> None:
         self.sim = sim
         self.name = name
-        self._static_waiters: List["Process"] = []
-        self._dynamic_waiters: List["WaitHandle"] = []
-        # Pending notification: None, the string "delta", or a TimedAction.
+        # Insertion-ordered sets (dicts with None values): O(1) membership
+        # and removal, deterministic iteration in registration order.
+        self._static_waiters: Dict["Process", None] = {}
+        self._dynamic_waiters: Dict[object, None] = {}
+        # Pending notification: None, _DELTA, or a TimedAction.
         self._pending = None  # type: Optional[object]
         self._trigger_count = 0
-        self._last_trigger_time: Optional[SimTime] = None
+        self._last_trigger_fs: Optional[int] = None
+        # Entries (live + stale) this event has in the simulator's delta
+        # queue; see the module docstring.
+        self._delta_entries = 0
 
     # -- introspection -----------------------------------------------------
     @property
@@ -57,7 +93,9 @@ class Event:
     @property
     def last_trigger_time(self) -> Optional[SimTime]:
         """Simulation time of the most recent trigger, or ``None``."""
-        return self._last_trigger_time
+        if self._last_trigger_fs is None:
+            return None
+        return SimTime.from_fs(self._last_trigger_fs)
 
     def has_waiters(self) -> bool:
         """True if any process is statically or dynamically waiting."""
@@ -65,19 +103,16 @@ class Event:
 
     # -- waiter management (kernel internal) -------------------------------
     def _add_static(self, process: "Process") -> None:
-        if process not in self._static_waiters:
-            self._static_waiters.append(process)
+        self._static_waiters.setdefault(process)
 
     def _remove_static(self, process: "Process") -> None:
-        if process in self._static_waiters:
-            self._static_waiters.remove(process)
+        self._static_waiters.pop(process, None)
 
-    def _add_dynamic(self, handle: "WaitHandle") -> None:
-        self._dynamic_waiters.append(handle)
+    def _add_dynamic(self, handle: object) -> None:
+        self._dynamic_waiters[handle] = None
 
-    def _remove_dynamic(self, handle: "WaitHandle") -> None:
-        if handle in self._dynamic_waiters:
-            self._dynamic_waiters.remove(handle)
+    def _remove_dynamic(self, handle: object) -> None:
+        self._dynamic_waiters.pop(handle, None)
 
     # -- notification --------------------------------------------------------
     def notify(self, delay: Optional[SimTime] = None) -> None:
@@ -87,33 +122,38 @@ class Event:
         delta notification, any positive :class:`SimTime` a timed one.
         """
         if delay is None:
-            self._notify_immediate()
+            if self._pending is not None:
+                self._cancel_pending()
+            self._trigger()
         elif not isinstance(delay, SimTime):
             raise SchedulingError(
                 f"notify() delay must be a SimTime or None, got {type(delay).__name__}"
             )
-        elif delay == ZERO_TIME:
+        elif delay._fs == 0:
             self.notify_delta()
         else:
             self._notify_timed(delay)
 
     def _notify_immediate(self) -> None:
-        self._cancel_pending()
+        if self._pending is not None:
+            self._cancel_pending()
         self._trigger()
 
     def notify_delta(self) -> None:
         """Schedule a delta notification (unless an equal/earlier one pends)."""
-        if self._pending == "delta":
+        pending = self._pending
+        if pending is _DELTA:
             return
-        # Delta overrides timed.
-        self._cancel_pending()
-        self._pending = "delta"
-        self.sim._queue_delta_event(self)
+        if pending is not None:
+            pending.cancel()  # delta overrides a pending timed notification
+        self._pending = _DELTA
+        self._delta_entries += 1
+        self.sim._delta_events.append(self)
 
     def _notify_timed(self, delay: SimTime) -> None:
         target_fs = self.sim._now_fs + delay.femtoseconds
         pending = self._pending
-        if pending == "delta":
+        if pending is _DELTA:
             return  # delta is earlier than any timed notification
         if pending is not None:
             # pending is a TimedAction
@@ -126,16 +166,17 @@ class Event:
 
     def cancel(self) -> None:
         """Cancel any pending delta or timed notification."""
-        self._cancel_pending()
+        if self._pending is not None:
+            self._cancel_pending()
 
     def _cancel_pending(self) -> None:
         pending = self._pending
         if pending is None:
             return
-        if pending == "delta":
-            self.sim._dequeue_delta_event(self)
-        else:
+        if pending is not _DELTA:
             pending.cancel()  # type: ignore[attr-defined]
+        # A pending delta's queue entry goes stale and is skipped when the
+        # delta queue drains; no O(n) removal here.
         self._pending = None
 
     # -- firing (called by the kernel) -----------------------------------------
@@ -144,18 +185,26 @@ class Event:
         self._trigger()
 
     def _delta_fire(self) -> None:
+        # One queue entry consumed.  Only the newest entry can correspond
+        # to a live notification (re-notification always appends), so fire
+        # iff this is the last entry out and a delta is still pending.
+        self._delta_entries -= 1
+        if self._delta_entries or self._pending is not _DELTA:
+            return
         self._pending = None
         self._trigger()
 
     def _trigger(self) -> None:
         self._trigger_count += 1
-        self._last_trigger_time = self.sim.now
+        self._last_trigger_fs = self.sim._now_fs
         # Static waiters first (deterministic registration order), then
-        # dynamic.  Copy because handlers mutate the lists.
-        for process in list(self._static_waiters):
-            process._static_trigger(self)
-        for handle in list(self._dynamic_waiters):
-            handle.on_trigger(self)
+        # dynamic.  Copy because handlers mutate the dicts.
+        if self._static_waiters:
+            for process in list(self._static_waiters):
+                process._static_trigger(self)
+        if self._dynamic_waiters:
+            for handle in list(self._dynamic_waiters):
+                handle.on_trigger(self)
 
     def __repr__(self) -> str:
         return f"Event({self.name!r})"

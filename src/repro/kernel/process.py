@@ -22,6 +22,14 @@ with this protocol.
 
 A *method process* is a plain callback invoked from the evaluation phase
 whenever one of its sensitivity events fires; it must not block.
+
+Hot-path design notes: a thread suspends and resumes once per simulated
+event, so this file is the kernel's inner loop.  Each :class:`ThreadProcess`
+owns a single reusable :class:`WaitHandle` (re-armed on every ``yield``
+instead of allocated), event registration goes through the events'
+insertion-ordered waiter dicts (O(1) disarm), the fire path is inlined,
+and :attr:`Process.wait_description` is computed lazily from the stored
+wait spec rather than formatted on every suspend.
 """
 
 from __future__ import annotations
@@ -95,7 +103,8 @@ class WaitHandle:
 
     Arms itself on the referenced events (and a timeout, if any); on the
     first satisfying trigger it disarms everything and schedules the owning
-    process runnable with the resume value.
+    process runnable with the resume value.  Each thread process owns one
+    handle for its whole lifetime, re-armed per wait.
     """
 
     __slots__ = ("process", "events", "pending_all", "timed_action", "active", "is_all")
@@ -111,11 +120,12 @@ class WaitHandle:
     # -- arming ------------------------------------------------------------
     def arm_events(self, events: Sequence[Event], *, all_of: bool = False) -> None:
         self.is_all = all_of
+        own = self.events
         for event in events:
-            event._add_dynamic(self)
-            self.events.append(event)
+            event._dynamic_waiters[self] = None
+            own.append(event)
         if all_of:
-            self.pending_all = list(events)
+            self.pending_all.extend(events)
 
     def arm_timeout(self, delay: SimTime) -> None:
         sim = self.process.sim
@@ -129,14 +139,14 @@ class WaitHandle:
             return
         if self.is_all:
             if event in self.pending_all:
-                self.pending_all.remove(event)
-                event._remove_dynamic(self)
-                self.events.remove(event)
+                # Remove every occurrence: a duplicated event in AllOf is
+                # satisfied entirely by one trigger.
+                self.pending_all[:] = [e for e in self.pending_all if e is not event]
+                self.events[:] = [e for e in self.events if e is not event]
+                event._dynamic_waiters.pop(self, None)
             if self.pending_all:
                 return
-            self._fire(event)
-        else:
-            self._fire(event)
+        self._fire(event)
 
     def _on_timeout(self) -> None:
         self.timed_action = None
@@ -145,23 +155,65 @@ class WaitHandle:
         self._fire(TIMEOUT)
 
     def _fire(self, value: object) -> None:
-        self.disarm()
-        self.process._schedule_resume(value)
+        # disarm() and process._schedule_resume(), inlined: this runs once
+        # per thread resume and is the kernel's hottest path.
+        self.active = False
+        events = self.events
+        if events:
+            for event in events:
+                event._dynamic_waiters.pop(self, None)
+            events.clear()
+        if self.pending_all:
+            self.pending_all.clear()
+        action = self.timed_action
+        if action is not None:
+            action.cancelled = True
+            self.timed_action = None
+        process = self.process
+        if process.state is not _TERMINATED:
+            process._resume_value = value
+            process._handle = None
+            process.state = _READY
+            process._wait_spec = None
+            process.sim._runnable.append(process)
 
     def disarm(self) -> None:
         """Detach from all events and cancel the timeout."""
         self.active = False
         for event in self.events:
-            event._remove_dynamic(self)
+            event._dynamic_waiters.pop(self, None)
         self.events.clear()
-        self.pending_all = []
+        if self.pending_all:
+            self.pending_all.clear()
         if self.timed_action is not None:
             self.timed_action.cancel()
             self.timed_action = None
 
 
+#: Sentinel for ``Process._wait_spec`` while waiting on static sensitivity.
+_STATIC_WAIT = "static"
+
+# Hot-path aliases of the enum members (module globals resolve faster than
+# class-attribute lookups in the inner loop).
+_CREATED = ProcessState.CREATED
+_READY = ProcessState.READY
+_RUNNING = ProcessState.RUNNING
+_WAITING = ProcessState.WAITING
+_TERMINATED = ProcessState.TERMINATED
+
+
 class Process:
     """Common behaviour of thread and method processes."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "state",
+        "static_sensitivity",
+        "daemon",
+        "terminated_event",
+        "_wait_spec",
+    )
 
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
@@ -173,12 +225,33 @@ class Process:
         self.daemon = False
         #: Fires when the process terminates (normally or via kill()).
         self.terminated_event = Event(sim, f"{name}.terminated")
-        #: Description of the current wait, for deadlock diagnosis.
-        self.wait_description: Optional[str] = None
+        # The current wait spec (None, _STATIC_WAIT, or the yielded spec);
+        # wait_description renders it on demand.
+        self._wait_spec: object = None
 
     @property
     def terminated(self) -> bool:
         return self.state is ProcessState.TERMINATED
+
+    @property
+    def wait_description(self) -> Optional[str]:
+        """Description of the current wait, for deadlock diagnosis."""
+        spec = self._wait_spec
+        if spec is None:
+            return None
+        if spec is _STATIC_WAIT:
+            return "static sensitivity"
+        if isinstance(spec, SimTime):
+            return f"timeout {spec}"
+        if isinstance(spec, Event):
+            return f"event {spec.name}"
+        if isinstance(spec, AnyOf):
+            names = ", ".join(e.name for e in spec.events)
+            return f"any of [{names}]"
+        if isinstance(spec, AllOf):
+            names = ", ".join(e.name for e in spec.events)
+            return f"all of [{names}]"
+        return repr(spec)
 
     def add_sensitivity(self, *events: Event) -> None:
         """Extend the static sensitivity list."""
@@ -200,7 +273,7 @@ class Process:
 
     def _terminate(self) -> None:
         self.state = ProcessState.TERMINATED
-        self.wait_description = None
+        self._wait_spec = None
         for event in self.static_sensitivity:
             event._remove_static(self)
         self.sim._process_terminated(self)
@@ -218,12 +291,16 @@ class ThreadProcess(Process):
     accepted and runs once to completion at start.
     """
 
+    __slots__ = ("_fn", "_gen", "_handle", "_resume_value", "_wait_handle")
+
     def __init__(self, sim: "Simulator", name: str, fn: Callable[[], object]) -> None:
         super().__init__(sim, name)
         self._fn = fn
         self._gen = None
         self._handle: Optional[WaitHandle] = None
         self._resume_value: object = None
+        # The reusable wait handle (armed/disarmed once per yield).
+        self._wait_handle = WaitHandle(self)
 
     def start(self) -> None:
         """Make the process runnable for the first evaluation phase."""
@@ -234,22 +311,22 @@ class ThreadProcess(Process):
 
     def _static_trigger(self, event: Event) -> None:
         # Threads use static sensitivity only while suspended on `yield None`.
-        if self.state is ProcessState.WAITING and self._handle is None:
+        if self.state is _WAITING and self._handle is None:
             self._schedule_resume(event)
 
     def _schedule_resume(self, value: object) -> None:
-        if self.state is ProcessState.TERMINATED:
+        if self.state is _TERMINATED:
             return
         self._resume_value = value
         self._handle = None
-        self.state = ProcessState.READY
-        self.wait_description = None
-        self.sim._make_runnable(self)
+        self.state = _READY
+        self._wait_spec = None
+        self.sim._runnable.append(self)
 
     def _execute(self) -> None:
-        if self.state is ProcessState.TERMINATED:
+        if self.state is _TERMINATED:
             return
-        self.state = ProcessState.RUNNING
+        self.state = _RUNNING
         if self._gen is None:
             result = self._fn()
             if not hasattr(result, "send"):
@@ -272,32 +349,30 @@ class ThreadProcess(Process):
         self._suspend_on(spec)
 
     def _suspend_on(self, spec: WaitSpec) -> None:
-        self.state = ProcessState.WAITING
+        self.state = _WAITING
         if spec is None:
             if not self.static_sensitivity:
                 raise ProcessError(
                     self.name, "yield None requires a static sensitivity list"
                 )
             self._handle = None
-            self.wait_description = "static sensitivity"
+            self._wait_spec = _STATIC_WAIT
             return
-        handle = WaitHandle(self)
+        handle = self._wait_handle
+        handle.active = True
+        handle.is_all = False
         if isinstance(spec, SimTime):
             handle.arm_timeout(spec)
-            self.wait_description = f"timeout {spec}"
         elif isinstance(spec, Event):
-            handle.arm_events([spec])
-            self.wait_description = f"event {spec.name}"
+            # Single-event wait: register directly (the common case).
+            handle.events.append(spec)
+            spec._dynamic_waiters[handle] = None
         elif isinstance(spec, AnyOf):
             handle.arm_events(spec.events)
             if spec.timeout is not None:
                 handle.arm_timeout(spec.timeout)
-            names = ", ".join(e.name for e in spec.events)
-            self.wait_description = f"any of [{names}]"
         elif isinstance(spec, AllOf):
             handle.arm_events(spec.events, all_of=True)
-            names = ", ".join(e.name for e in spec.events)
-            self.wait_description = f"all of [{names}]"
         else:
             self._terminate()
             raise ProcessError(
@@ -305,6 +380,7 @@ class ThreadProcess(Process):
                 f"invalid wait specification yielded: {spec!r} "
                 "(expected SimTime, Event, AnyOf, AllOf, or None)",
             )
+        self._wait_spec = spec
         self._handle = handle
 
     def _terminate(self) -> None:
@@ -372,6 +448,8 @@ class MethodProcess(Process):
     exactly as in SystemC 2.0.
     """
 
+    __slots__ = ("_fn", "_initialize", "_queued", "_dynamic", "_pending_trigger")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -413,16 +491,16 @@ class MethodProcess(Process):
         self._enqueue()
 
     def _enqueue(self) -> None:
-        if self.state is ProcessState.TERMINATED or self._queued:
+        if self.state is _TERMINATED or self._queued:
             return
         self._queued = True
-        self.sim._make_runnable(self)
+        self.sim._runnable.append(self)
 
     def _execute(self) -> None:
         self._queued = False
-        if self.state is ProcessState.TERMINATED:
+        if self.state is _TERMINATED:
             return
-        self.state = ProcessState.RUNNING
+        self.state = _RUNNING
         self._pending_trigger = "unset"
         try:
             self._fn()

@@ -32,7 +32,24 @@ class Signal(Generic[T]):
     Reads return the value committed at the last update phase; writes take
     effect one delta later.  ``value_changed`` fires only on actual change
     (write of an equal value is absorbed, as in ``sc_signal``).
+
+    Follows the kernel's update-request protocol: ``_update_requested``
+    dedups queueing in O(1) (the simulator clears it before calling
+    :meth:`_update`), so a thousand writes in one evaluation phase cost one
+    queue entry and no membership scans.
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_current",
+        "_next",
+        "_update_requested",
+        "value_changed",
+        "posedge",
+        "negedge",
+        "_trace_callbacks",
+    )
 
     def __init__(self, sim: "Simulator", init: T, name: str = "signal") -> None:
         self.sim = sim
@@ -63,20 +80,23 @@ class Signal(Generic[T]):
         self._next = value
         if not self._update_requested:
             self._update_requested = True
-            self.sim.request_update(self)
+            self.sim._update_queue.append(self)
 
     def _update(self) -> None:
-        self._update_requested = False
+        # _update_requested was cleared by the scheduler's update phase.
         if self._next == self._current:
             return
-        old, self._current = self._current, self._next
+        old = self._current
+        self._current = new = self._next
         self.value_changed.notify_delta()
-        if not old and self._current:
+        if not old and new:
             self.posedge.notify_delta()
-        elif old and not self._current:
+        elif old and not new:
             self.negedge.notify_delta()
-        for callback in self._trace_callbacks:
-            callback(self.sim.now, self._current)  # type: ignore[operator]
+        if self._trace_callbacks:
+            now = self.sim.now
+            for callback in self._trace_callbacks:
+                callback(now, new)  # type: ignore[operator]
 
     def on_update(self, callback) -> None:
         """Register ``callback(time, value)`` run at each committed change."""

@@ -14,6 +14,18 @@ Implements the SystemC 2.0 scheduling algorithm:
 The scheduler is fully deterministic: runnable processes execute in FIFO
 order of becoming runnable, timed actions in (time, insertion sequence)
 order, and update/delta queues in insertion order.
+
+Hot-path design notes: every per-event cost here is O(1).  Update-queue
+dedup uses the channels' ``_update_requested`` flag (the update-request
+protocol) instead of a membership scan; cancelled delta notifications
+leave stale queue entries that the events skip on pop (see
+:mod:`repro.kernel.event`); and the current time is kept both as an
+integer femtosecond count (for arithmetic) and as a cached
+:class:`SimTime` (for observation) so the inner loop never re-wraps it.
+
+``trace_hooks`` fire once per *finished instant* — after the last delta
+cycle at a timestamp has settled and before time advances — so delta-only
+activity (e.g. everything happening at t=0) is traced too.
 """
 
 from __future__ import annotations
@@ -50,6 +62,8 @@ class TimedAction:
 class SimulatorStats:
     """Bookkeeping counters exposed by :attr:`Simulator.stats`."""
 
+    __slots__ = ("process_executions", "delta_cycles", "timed_activations", "signal_updates")
+
     def __init__(self) -> None:
         self.process_executions = 0
         self.delta_cycles = 0
@@ -79,6 +93,7 @@ class Simulator:
     def __init__(self, name: str = "sim") -> None:
         self.name = name
         self._now_fs = 0
+        self._now_obj = ZERO_TIME  # cached SimTime mirror of _now_fs
         self._running = False
         self._started = False
         self._stop_requested = False
@@ -91,13 +106,23 @@ class Simulator:
         self._top_modules: List[object] = []
         self._end_of_elaboration_hooks: List[Callable[[], None]] = []
         self.stats = SimulatorStats()
+        #: Called with the current time once per finished instant (after the
+        #: last delta cycle at that timestamp, before time advances).
         self.trace_hooks: List[Callable[[SimTime], None]] = []
 
     # -- time --------------------------------------------------------------
     @property
     def now(self) -> SimTime:
-        """Current simulated time."""
-        return SimTime.from_fs(self._now_fs)
+        """Current simulated time.
+
+        Lazily cached: the scheduler advances the integer ``_now_fs`` only,
+        and the :class:`SimTime` wrapper is built at most once per instant,
+        on first observation.
+        """
+        now = self._now_obj
+        if now._fs != self._now_fs:
+            now = self._now_obj = SimTime.from_fs(self._now_fs)
+        return now
 
     @property
     def delta_count(self) -> int:
@@ -145,7 +170,8 @@ class Simulator:
     def _schedule_timed_fs(self, time_fs: int, callback: Callable[[], None]) -> TimedAction:
         if time_fs < self._now_fs:
             raise SchedulingError("cannot schedule in the past")
-        action = TimedAction(time_fs, self._next_seq(), callback)
+        self._seq += 1
+        action = TimedAction(time_fs, self._seq, callback)
         heapq.heappush(self._timed_heap, action)
         return action
 
@@ -153,20 +179,28 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` from now (kernel context)."""
         return self._schedule_timed_fs(self._now_fs + delay.femtoseconds, callback)
 
-    def _queue_delta_event(self, event: Event) -> None:
-        self._delta_events.append(event)
-
-    def _dequeue_delta_event(self, event: Event) -> None:
-        if event in self._delta_events:
-            self._delta_events.remove(event)
-
     def request_update(self, channel: object) -> None:
-        """Queue a primitive channel for the next update phase.
+        """Queue a primitive channel for the next update phase (idempotent).
 
-        ``channel`` must expose an ``_update()`` method.
+        ``channel`` must expose an ``_update()`` method.  Channels
+        implementing the update-request protocol carry an
+        ``_update_requested`` flag, making the dedup O(1); the flag is set
+        here (or by the channel itself) and cleared by the update phase
+        just before ``_update()`` runs.  Flagless objects (e.g. with
+        ``__slots__``) fall back to a queue membership scan.
         """
-        if channel not in self._update_queue:
-            self._update_queue.append(channel)
+        flag = getattr(channel, "_update_requested", None)
+        if flag:
+            return
+        if flag is None:
+            try:
+                channel._update_requested = True  # type: ignore[attr-defined]
+            except AttributeError:
+                if channel in self._update_queue:
+                    return
+        else:
+            channel._update_requested = True  # type: ignore[attr-defined]
+        self._update_queue.append(channel)
 
     def _process_terminated(self, process: Process) -> None:
         # Kept in the list for post-mortem inspection; nothing to do here.
@@ -217,32 +251,45 @@ class Simulator:
         self._stop_requested = False
         until_fs = until.femtoseconds if until is not None else None
         deltas_this_instant = 0
+        instant_active = False  # anything happened at the current instant?
+        runnable = self._runnable
+        timed_heap = self._timed_heap
+        stats = self.stats
+        heappush, heappop = heapq.heappush, heapq.heappop
         try:
             while not self._stop_requested:
                 # Evaluation phase.
                 executed = False
-                while self._runnable:
-                    process = self._runnable.popleft()
+                while runnable:
+                    process = runnable.popleft()
                     executed = True
-                    self.stats.process_executions += 1
+                    stats.process_executions += 1
                     process._execute()
                     if self._stop_requested:
                         break
                 if self._stop_requested:
                     break
+                if executed:
+                    instant_active = True
                 # Update phase.
                 if self._update_queue:
+                    instant_active = True
                     updates, self._update_queue = self._update_queue, []
                     for channel in updates:
-                        self.stats.signal_updates += 1
+                        stats.signal_updates += 1
+                        try:
+                            channel._update_requested = False  # type: ignore[attr-defined]
+                        except AttributeError:
+                            pass  # flagless channel (scan-deduped)
                         channel._update()  # type: ignore[attr-defined]
                 # Delta notification phase.
                 if self._delta_events:
+                    instant_active = True
                     events, self._delta_events = self._delta_events, []
                     for event in events:
                         event._delta_fire()
-                if self._runnable:
-                    self.stats.delta_cycles += 1
+                if runnable:
+                    stats.delta_cycles += 1
                     deltas_this_instant += 1
                     if deltas_this_instant > max_deltas_per_instant:
                         raise SchedulingError(
@@ -250,32 +297,39 @@ class Simulator:
                             f"time {self.now}; combinational loop?"
                         )
                     continue
-                if executed or self._update_queue or self._delta_events:
+                if self._update_queue or self._delta_events:
                     # Updates/deltas may still be pending even without
                     # runnable processes; loop again before advancing time.
-                    if self._update_queue or self._delta_events:
-                        continue
+                    continue
+                # The instant has settled: trace it, then advance time.
+                if instant_active:
+                    instant_active = False
+                    if self.trace_hooks:
+                        now_obj = self.now
+                        for hook in self.trace_hooks:
+                            hook(now_obj)
+                        if runnable or self._update_queue or self._delta_events:
+                            continue  # a hook injected activity at this instant
                 # Timed notification phase.
                 deltas_this_instant = 0
                 next_action = self._pop_next_timed()
                 if next_action is None:
                     break  # starvation
                 if until_fs is not None and next_action.time_fs > until_fs:
-                    heapq.heappush(self._timed_heap, next_action)
+                    heappush(timed_heap, next_action)
                     self._now_fs = until_fs
                     break
-                self._now_fs = next_action.time_fs
-                self.stats.timed_activations += 1
+                self._now_fs = now_fs = next_action.time_fs
+                stats.timed_activations += 1
+                instant_active = True
                 next_action.callback()
                 # Fire everything else scheduled at the same instant.
-                while self._timed_heap and self._timed_heap[0].time_fs == self._now_fs:
-                    action = heapq.heappop(self._timed_heap)
+                while timed_heap and timed_heap[0].time_fs == now_fs:
+                    action = heappop(timed_heap)
                     if action.cancelled:
                         continue
-                    self.stats.timed_activations += 1
+                    stats.timed_activations += 1
                     action.callback()
-                for hook in self.trace_hooks:
-                    hook(self.now)
         finally:
             self._running = False
         if error_on_deadlock and not self._stop_requested:
@@ -288,8 +342,9 @@ class Simulator:
         return self.now
 
     def _pop_next_timed(self) -> Optional[TimedAction]:
-        while self._timed_heap:
-            action = heapq.heappop(self._timed_heap)
+        timed_heap = self._timed_heap
+        while timed_heap:
+            action = heapq.heappop(timed_heap)
             if not action.cancelled:
                 return action
         return None

@@ -77,7 +77,10 @@ class VcdTracer:
 
     @staticmethod
     def _format_change(ident: str, value: object, width: int) -> str:
-        iv = int(value)  # type: ignore[arg-type]
+        # Mask to the declared width: VCD has no sign, so negative values
+        # are emitted as two's complement (``f"{iv:b}"`` would produce an
+        # illegal ``b-101`` token that waveform viewers reject).
+        iv = int(value) & ((1 << width) - 1)  # type: ignore[arg-type]
         if width == 1:
             return f"{1 if iv else 0}{ident}\n"
         return f"b{iv:b} {ident}\n"
@@ -113,8 +116,22 @@ class TimelineRecorder:
         ]
 
     def track_busy_time(self, track: str) -> SimTime:
-        """Total recorded interval length on ``track`` (intervals may not overlap)."""
-        total = sum(e - s for s, e, t, _ in self._rows if t == track)
+        """Total busy time on ``track``, with overlapping intervals merged.
+
+        Overlaps are common (e.g. pipelined bus transactions on one
+        master's track); naively summing lengths would double-count the
+        shared span and report utilizations above 100%.
+        """
+        intervals = sorted((s, e) for s, e, t, _ in self._rows if t == track)
+        total = 0
+        merged_end = None
+        for s, e in intervals:
+            if merged_end is None or s > merged_end:
+                total += e - s
+                merged_end = e
+            elif e > merged_end:
+                total += e - merged_end
+                merged_end = e
         return SimTime.from_fs(total)
 
     def to_csv(self) -> str:

@@ -96,6 +96,38 @@ class TestVerifiedFetch:
         with pytest.raises(ProcessError, match="failed its checksum"):
             rig.sim.run()
 
+    @pytest.mark.parametrize("max_retries", [1, 3])
+    def test_retry_budget_is_exhausted_before_raising(self, max_retries):
+        """The fetch retries exactly ``max_fetch_retries`` times, counting
+        each retry, before giving up on persistent corruption."""
+        rig = make_rig(max_fetch_retries=max_retries)
+        rig.cfgmem.inject_transient_error("s0", n_bursts=100)
+
+        def body():
+            yield from rig.master_read(rig.addr(0))
+
+        rig.sim.spawn("p", body)
+        with pytest.raises(ProcessError, match="failed its checksum"):
+            rig.sim.run()
+        stats = rig.drcf.stats
+        # First fetch + max_fetch_retries refetches, each failing its check.
+        assert stats.config_retries == max_retries + 1
+        assert stats.context("s0").fetch_retries == max_retries + 1
+        words = rig.drcf.contexts[0].params.config_words(4)
+        assert rig.bus.monitor.words_by_tag("config") == (max_retries + 1) * words
+
+    def test_retry_budget_survives_matching_transient_corruption(self):
+        """Corruption lasting exactly ``max_fetch_retries`` fetches recovers."""
+        rig = make_rig(max_fetch_retries=3)
+        # n_bursts counts burst reads; corrupt every burst of exactly the
+        # first three full fetch attempts.
+        words = rig.drcf.contexts[0].params.config_words(4)
+        bursts_per_fetch = -(-words // rig.drcf.config_burst_words)
+        rig.cfgmem.inject_transient_error("s0", n_bursts=3 * bursts_per_fetch)
+        access(rig, 0)
+        assert rig.drcf.stats.config_retries == 3
+        assert rig.drcf.stats.context("s0").fetch_retries == 3
+
     def test_unverified_drcf_ignores_corruption(self):
         rig = make_rig(verify=False)
         rig.cfgmem.inject_transient_error("s0", n_bursts=50)

@@ -1,0 +1,181 @@
+"""A mixed-workload scenario whose exact event ordering is golden-tested.
+
+The kernel hot-path refactor (O(1) update/delta queues, dict-backed waiter
+lists, reused wait handles) must preserve scheduler semantics *bit for
+bit*: FIFO runnable order, update -> delta phase ordering, notification
+override rules, and the SimulatorStats counters.  This scenario packs the
+tricky cases into one run:
+
+* immediate / delta / timed notifications, including the override rules
+  (immediate kills delta, delta kills timed, earlier timed kills later);
+* cancel-then-renotify of a delta notification inside one evaluation phase
+  (the canceled queue entry must not fire, and the renotified event must
+  fire in its *new* queue position);
+* signals with multiple watchers (update-phase dedup + posedge/negedge);
+* AnyOf (event winner and timeout winner), AllOf, static sensitivity;
+* a method process with ``next_trigger``;
+* fifo backpressure and mutex contention (FIFO grant order).
+
+``build_and_run`` returns the recorded ``(time_fs, delta_cycles, tag)``
+trace and the final stats dict; ``test_determinism_refactor.py`` asserts
+both against the values recorded from the pre-refactor (seed) kernel.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import AllOf, AnyOf, Event, Fifo, Mutex, Signal, Simulator, TIMEOUT, ns
+
+
+def build_and_run():
+    sim = Simulator()
+    trace = []
+
+    def rec(tag):
+        trace.append((sim._now_fs, sim.stats.delta_cycles, tag))
+
+    e1 = Event(sim, "e1")
+    e2 = Event(sim, "e2")
+    e3 = Event(sim, "e3")
+    sig = Signal(sim, 0, "sig")
+    flag = Signal(sim, False, "flag")
+    fifo = Fifo(sim, capacity=2, name="fifo")
+    mux = Mutex(sim, "mux")
+
+    # -- watchers ----------------------------------------------------------
+    def watch(event, name):
+        def body():
+            while True:
+                got = yield event
+                rec(f"{name}:fired")
+
+        return body
+
+    sim.spawn("w1", watch(e1, "w1"), daemon=True)
+    sim.spawn("w2", watch(e2, "w2"), daemon=True)
+    sim.spawn("w3", watch(e3, "w3"), daemon=True)
+
+    def sig_watch():
+        while True:
+            yield sig.value_changed
+            rec(f"sig={sig.read()}")
+
+    sim.spawn("sw", sig_watch, daemon=True)
+
+    def edge_watch():
+        while True:
+            got = yield AnyOf([flag.posedge, flag.negedge])
+            rec("pos" if got is flag.posedge else "neg")
+
+    sim.spawn("ew", edge_watch, daemon=True)
+
+    # Method process statically sensitive to e2; one next_trigger redirect.
+    calls = {"n": 0}
+
+    def method_body():
+        calls["n"] += 1
+        rec(f"m:{calls['n']}")
+        if calls["n"] == 2:
+            mp.next_trigger(ns(7))
+
+    from repro.kernel import MethodProcess
+
+    mp = MethodProcess(sim, "mp", method_body, initialize=True)
+    mp.add_sensitivity(e2)
+    sim.register_process(mp)
+
+    # -- driver: notification override rules -------------------------------
+    def driver():
+        rec("drv:start")
+        e1.notify()  # immediate
+        yield ns(1)
+        # cancel-then-renotify inside one evaluation phase: e2 queued, e3
+        # queued, e2 canceled and requeued -> must fire as (e3, e2).
+        e2.notify_delta()
+        e3.notify_delta()
+        e2.cancel()
+        e2.notify_delta()
+        yield ns(1)
+        # delta canceled by immediate.
+        e3.notify_delta()
+        e3.cancel()
+        e3.notify()
+        yield ns(1)
+        # timed overridden by earlier timed; later timed ignored.
+        e1.notify(ns(10))
+        e1.notify(ns(4))
+        e1.notify(ns(20))
+        yield ns(6)
+        # delta overrides timed.
+        e2.notify(ns(3))
+        e2.notify_delta()
+        yield ns(1)
+        # signal churn: several writes in one delta, last wins; equal-value
+        # write absorbed.
+        sig.write(1)
+        sig.write(2)
+        yield ns(1)
+        sig.write(2)  # no change -> no event
+        flag.write(True)
+        yield ns(1)
+        flag.write(False)
+        yield ns(1)
+        rec("drv:done")
+
+    sim.spawn("driver", driver)
+
+    # -- AnyOf / AllOf ------------------------------------------------------
+    def any_waiter():
+        got = yield AnyOf([e1, e3], timeout=ns(2))
+        rec("any1:" + ("timeout" if got is TIMEOUT else got.name))
+        got = yield AnyOf([e2], timeout=ns(50))
+        rec("any2:" + ("timeout" if got is TIMEOUT else got.name))
+
+    sim.spawn("any", any_waiter)
+
+    def all_waiter():
+        yield AllOf([e1, e3])
+        rec("all:done")
+
+    sim.spawn("all", all_waiter)
+
+    # -- fifo backpressure --------------------------------------------------
+    def producer():
+        for i in range(4):
+            yield from fifo.put(i)
+            rec(f"put:{i}")
+
+    def consumer():
+        yield ns(3)
+        for _ in range(4):
+            item = yield from fifo.get()
+            rec(f"got:{item}")
+            yield ns(2)
+
+    sim.spawn("prod", producer)
+    sim.spawn("cons", consumer)
+
+    # -- mutex contention ---------------------------------------------------
+    def locker(tag, delay_ns, hold_ns):
+        def body():
+            yield ns(delay_ns)
+            yield from mux.lock(tag)
+            rec(f"lock:{tag}")
+            yield ns(hold_ns)
+            mux.unlock()
+            rec(f"unlock:{tag}")
+
+        return body
+
+    sim.spawn("la", locker("a", 1, 5))
+    sim.spawn("lb", locker("b", 2, 1))
+    sim.spawn("lc", locker("c", 2, 1))
+
+    end = sim.run(until=ns(100))
+    return {
+        "trace": trace,
+        "end_fs": end.femtoseconds,
+        "stats": sim.stats.as_dict(),
+        "delta_count": sim.delta_count,
+        "e_counts": [e1.trigger_count, e2.trigger_count, e3.trigger_count],
+        "pending_timed": sim.pending_timed_count(),
+    }

@@ -74,7 +74,7 @@ class TestGuards:
 
 
 class TestTraceHooks:
-    def test_hook_called_at_time_advances(self, sim):
+    def test_hook_called_once_per_active_instant(self, sim):
         times = []
         sim.trace_hooks.append(lambda t: times.append(t.to_ns()))
 
@@ -84,4 +84,67 @@ class TestTraceHooks:
 
         sim.spawn("p", body)
         sim.run()
-        assert times == [5.0, 10.0]
+        # The initial evaluation at t=0 is an instant too.
+        assert times == [0.0, 5.0, 10.0]
+
+    def test_hook_fires_for_delta_only_instants(self, sim):
+        """A model whose activity is all delta cycles at t=0 is still traced."""
+        from repro.kernel import Event, Signal
+
+        times = []
+        sim.trace_hooks.append(lambda t: times.append(t.femtoseconds))
+        sig = Signal(sim, 0, "s")
+        done = Event(sim, "done")
+
+        def waiter():
+            yield sig.value_changed
+            done.notify_delta()
+
+        def writer():
+            sig.write(1)
+            yield done
+
+        sim.spawn("w", waiter)
+        sim.spawn("p", writer)
+        sim.run()
+        assert times == [0]  # once, after the t=0 deltas settled
+
+    def test_hook_fires_once_per_instant_despite_many_deltas(self, sim):
+        from repro.kernel import Event
+
+        times = []
+        sim.trace_hooks.append(lambda t: times.append(t.to_ns()))
+        ping = Event(sim, "ping")
+
+        def bouncer():
+            for _ in range(5):
+                ping.notify_delta()
+                yield ping
+            yield ns(3)
+
+        sim.spawn("b", bouncer)
+        sim.run()
+        assert times == [0.0, 3.0]
+
+    def test_hook_sees_settled_signal_values(self, sim):
+        """Hooks run after the instant finishes, so committed values are visible."""
+        from repro.kernel import Signal
+
+        seen = []
+        sig = Signal(sim, 0, "s")
+        sim.trace_hooks.append(lambda t: seen.append((t.to_ns(), sig.read())))
+
+        def body():
+            sig.write(7)
+            yield ns(1)
+            sig.write(9)
+
+        sim.spawn("p", body)
+        sim.run()
+        assert seen == [(0.0, 7), (1.0, 9)]
+
+    def test_no_hook_calls_for_empty_simulation(self, sim):
+        times = []
+        sim.trace_hooks.append(lambda t: times.append(t))
+        sim.run()
+        assert times == []

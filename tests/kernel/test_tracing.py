@@ -59,6 +59,30 @@ class TestVcdTracer:
         ids = {VcdTracer._make_id(i) for i in range(500)}
         assert len(ids) == 500
 
+    def test_negative_vector_value_emitted_as_twos_complement(self, sim):
+        """Regression: a negative write used to serialize as ``b-101``."""
+        tracer = VcdTracer("design")
+        temp = Signal(sim, 0, "temp")
+        tracer.trace(temp, width=8)
+
+        def body():
+            yield ns(1)
+            temp.write(-5)
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        text = tracer.dumps()
+        assert "-" not in text.split("$enddefinitions $end")[1]
+        assert "b11111011 " in text  # -5 & 0xFF == 0xFB
+
+    def test_negative_scalar_value_is_one(self):
+        assert VcdTracer._format_change("!", -1, 1) == "1!\n"
+
+    def test_vector_value_masked_to_width(self):
+        # A value wider than the declared width is truncated, not emitted raw.
+        assert VcdTracer._format_change("!", 0x1F3, 8).startswith("b11110011 ")
+
 
 class TestTimelineRecorder:
     def test_track_busy_time(self):
@@ -67,6 +91,39 @@ class TestTimelineRecorder:
         recorder.record(ns(10), ns(12), "ctx", "b")
         assert recorder.track_busy_time("ctx") == ns(7)
         assert recorder.track_busy_time("other") == ns(0)
+
+    def test_overlapping_intervals_not_double_counted(self):
+        """Regression: overlapping intervals on one track summed to >100%."""
+        recorder = TimelineRecorder()
+        recorder.record(ns(0), ns(10), "bus", "read")
+        recorder.record(ns(5), ns(15), "bus", "write")  # overlaps [5,10)
+        assert recorder.track_busy_time("bus") == ns(15)
+
+    def test_contained_interval_not_double_counted(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(0), ns(20), "bus", "outer")
+        recorder.record(ns(5), ns(10), "bus", "inner")
+        recorder.record(ns(30), ns(35), "bus", "later")
+        assert recorder.track_busy_time("bus") == ns(25)
+
+    def test_identical_intervals_counted_once(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(2), ns(6), "ctx", "a")
+        recorder.record(ns(2), ns(6), "ctx", "b")
+        assert recorder.track_busy_time("ctx") == ns(4)
+
+    def test_abutting_intervals_sum(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(0), ns(5), "ctx", "a")
+        recorder.record(ns(5), ns(9), "ctx", "b")
+        assert recorder.track_busy_time("ctx") == ns(9)
+
+    def test_overlap_merge_ignores_other_tracks(self):
+        recorder = TimelineRecorder()
+        recorder.record(ns(0), ns(10), "a", "x")
+        recorder.record(ns(0), ns(10), "b", "y")
+        assert recorder.track_busy_time("a") == ns(10)
+        assert recorder.track_busy_time("b") == ns(10)
 
     def test_rows_sorted(self):
         recorder = TimelineRecorder()
