@@ -28,6 +28,17 @@ from repro.kernel import Simulator
 from repro.tech import VIRTEX2PRO
 
 
+def build_netlist():
+    """The fixed (split-transaction) variant — this one lints clean.
+
+    The deliberately deadlocking architecture of run 1 is flagged
+    statically by `python -m repro lint --builtin deadlock` (rule REP310).
+    """
+    return make_reconfigurable_netlist(
+        ("fir", "fft"), tech=VIRTEX2PRO, bus_protocol="split"
+    )
+
+
 def attempt(label: str, **soc_kwargs) -> None:
     jobs = frame_interleaved_jobs(("fir", "fft"), n_frames=1, seed=5)
     netlist, info = make_reconfigurable_netlist(

@@ -19,6 +19,16 @@ from repro.dse import (
 )
 
 
+def build_netlist():
+    """A representative sweep point (`repro lint` entry)."""
+    from repro.apps import make_reconfigurable_netlist
+    from repro.tech import VIRTEX2PRO
+
+    return make_reconfigurable_netlist(
+        ("fir", "fft", "viterbi", "xtea"), tech=VIRTEX2PRO
+    )
+
+
 def main() -> None:
     space = (
         ParameterSpace()

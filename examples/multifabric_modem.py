@@ -32,9 +32,15 @@ GROUPS = {
 ALL = ("fir", "fft", "viterbi", "xtea")
 
 
-def main() -> None:
+def build_netlist():
+    """The two-fabric modem architecture (`repro lint` entry)."""
     netlist, info = make_multi_fabric_netlist(GROUPS)
     netlist.add("irqc", InterruptController, slave_of="system_bus", base=0x3000_0000)
+    return netlist, info
+
+
+def main() -> None:
+    netlist, info = build_netlist()
     sim = Simulator()
     design = netlist.elaborate(sim)
 

@@ -27,6 +27,11 @@ from repro.tech import VIRTEX2PRO
 ACCELS = ("fir", "fft", "viterbi", "xtea")
 
 
+def build_netlist():
+    """The reconfigurable architecture this demo runs (`repro lint` entry)."""
+    return make_reconfigurable_netlist(ACCELS, tech=VIRTEX2PRO)
+
+
 def run_architecture(netlist, info, jobs):
     """Elaborate, run the workload to completion, and gather metrics."""
     sim = Simulator()

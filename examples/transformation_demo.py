@@ -26,6 +26,16 @@ from repro.kernel import Simulator
 from repro.tech import VARICORE
 
 
+def build_netlist():
+    """The post-transformation architecture (`repro lint` entry)."""
+    netlist, info = make_baseline_netlist(("fir", "fft"))
+    result = transform_to_drcf(
+        netlist, ["fir", "fft"], tech=VARICORE,
+        config_memory="cfgmem", config_base=info.cfg_base,
+    )
+    return result.netlist, info
+
+
 def main() -> None:
     netlist, info = make_baseline_netlist(("fir", "fft"))
 

@@ -33,6 +33,11 @@ V1_BLOCKS = ("fir", "fft", "viterbi")
 V2_BLOCKS = ("fir", "fft", "viterbi", "xtea")
 
 
+def build_netlist():
+    """The full second-generation product architecture (`repro lint` entry)."""
+    return make_reconfigurable_netlist(V2_BLOCKS, tech=MORPHOSYS)
+
+
 def run(blocks, *, prefetch: bool, n_frames: int = 3, seed: int = 11):
     """Simulate one product configuration; returns a result row."""
     jobs = frame_interleaved_jobs(blocks, n_frames, seed=seed)

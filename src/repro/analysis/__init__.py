@@ -1,14 +1,36 @@
-"""Post-run analysis: metric aggregation and deadlock diagnosis."""
+"""Post-run analysis: metric aggregation, deadlock diagnosis, static lint."""
 
 from .deadlock import BlockedProcess, DeadlockReport, diagnose
+from .lint import (
+    DEADLOCK_RULE_CODE,
+    RULES,
+    Diagnostic,
+    LintContext,
+    LintReport,
+    Rule,
+    all_rule_codes,
+    register_rule,
+    rule,
+    run_lint,
+)
 from .metrics import RunReport, collect_run_metrics, per_context_rows, speedup
 
 __all__ = [
     "BlockedProcess",
+    "DEADLOCK_RULE_CODE",
     "DeadlockReport",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "Rule",
     "RunReport",
+    "all_rule_codes",
     "collect_run_metrics",
     "diagnose",
     "per_context_rows",
+    "register_rule",
+    "rule",
+    "run_lint",
     "speedup",
 ]

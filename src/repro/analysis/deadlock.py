@@ -16,10 +16,11 @@ report — experiment E7 reproduces exactly the paper's condition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..bus import Bus
 from ..kernel import Simulator
+from .lint import DEADLOCK_RULE_CODE
 
 
 @dataclass
@@ -37,6 +38,10 @@ class DeadlockReport:
     deadlocked: bool
     blocked: List[BlockedProcess] = field(default_factory=list)
     chains: List[str] = field(default_factory=list)
+    #: The static lint rule that flags this failure mode pre-simulation;
+    #: rendered in the report so a post-mortem points back at the check
+    #: that would have caught the architecture without running anything.
+    static_rule: str = DEADLOCK_RULE_CODE
 
     def render(self) -> str:
         """Human-readable report."""
@@ -47,6 +52,10 @@ class DeadlockReport:
             lines.append(f"  process {item.name} waiting on {item.waiting_on}")
         for chain in self.chains:
             lines.append(f"  wait-for: {chain}")
+        lines.append(
+            f"  note: static lint rule {self.static_rule} flags this "
+            "architecture before simulation (python -m repro lint)"
+        )
         return "\n".join(lines)
 
 

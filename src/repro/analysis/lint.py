@@ -1,0 +1,893 @@
+"""Static model verification: a rule-based linter for netlists and designs.
+
+The paper's methodology rewrites architectures mechanically (the DRCF
+transformation) and then finds out at *runtime* whether the result is
+sound — the Section 5.4 limitations surface as elaboration errors or, worst
+of all, as a simulation that silently deadlocks (limitation 3, experiment
+E7).  This module is the static companion: it checks
+
+* a declarative :class:`~repro.core.netlist.Netlist` before elaboration
+  (dangling bindings, overlapping address ranges, the limitation-3
+  blocking-bus precondition),
+* an elaborated module hierarchy (unbound ports, broken port chains,
+  interface mismatches, multi-writer signals), and
+* the DRCF configuration itself (context regions that overlap or fall
+  outside the configuration memory),
+
+without ever running the simulator.  Every finding is a structured
+:class:`Diagnostic` with a stable ``REPnnn`` code, a severity, a location
+and a fix hint, so reports are machine-consumable (``--json`` in the CLI)
+and individual rules can be suppressed.  ``docs/LINT.md`` documents every
+code with a minimal triggering example.
+
+Rules register themselves in :data:`RULES` through the :func:`rule`
+decorator; adding a check is writing one generator function::
+
+    @rule("REP9xx", layer="netlist", summary="...")
+    def _check_something(ctx):
+        for spec in ctx.netlist.specs:
+            if bad(spec):
+                yield f"{ctx.netlist.name}.{spec.name}", "what is wrong", "how to fix it"
+
+Entry point: :func:`run_lint` (also ``python -m repro lint``).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..bus import Bus, BusMasterIf, BusSlaveIf
+from ..core.drcf import Drcf
+from ..core.netlist import ComponentSpec, ElaboratedDesign, Netlist
+from ..kernel import Module, Simulator, ports_of, processes_of, signals_of
+
+#: The code of the limitation-3 (blocking-bus deadlock) precondition rule.
+#: The runtime deadlock diagnosis (:mod:`repro.analysis.deadlock`) cross-
+#: references it so post-mortem reports point back at the static check
+#: that would have caught the architecture before any simulation ran.
+DEADLOCK_RULE_CODE = "REP310"
+
+#: Diagnostic severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+#: Rule layers, in the order the engine runs them.  ``meta`` rules are
+#: emitted by the engine itself (elaboration/rule failures), not checked.
+LAYERS = ("netlist", "transform", "design", "drcf", "meta")
+
+
+# --------------------------------------------------------------------------
+# Diagnostics and reports
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, a severity, a location and a fix hint."""
+
+    code: str
+    severity: str  # one of SEVERITIES
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def render(self) -> str:
+        """One line (two with a hint): ``REP102 error top.fir: message``."""
+        where = f" {self.location}" if self.location else ""
+        line = f"{self.code} {self.severity}{where}: {self.message}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> Dict[str, str]:
+        return asdict(self)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one :func:`run_lint` call."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "info"]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        """Distinct diagnostic codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def render(self) -> str:
+        """Human-readable report with a trailing summary line."""
+        lines = [d.render() for d in self.diagnostics]
+        if not self.diagnostics:
+            lines.append("clean: no diagnostics")
+        else:
+            lines.append(
+                f"{len(self.errors)} error(s), {len(self.warnings)} "
+                f"warning(s), {len(self.infos)} info(s)"
+            )
+        return "\n".join(lines)
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        """JSON-ready list of diagnostic dicts."""
+        return [d.to_dict() for d in self.diagnostics]
+
+
+# --------------------------------------------------------------------------
+# Rule registry
+# --------------------------------------------------------------------------
+
+#: What a check may yield: a full Diagnostic (to override severity), or a
+#: ``(location, message)`` / ``(location, message, hint)`` tuple.
+CheckResult = Union[Diagnostic, Tuple[str, str], Tuple[str, str, str]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check: stable code, layer, default severity, summary."""
+
+    code: str
+    layer: str
+    severity: str
+    summary: str
+    check: Optional[Callable[["LintContext"], Iterable[CheckResult]]]
+
+
+#: All registered rules by code.  Mutated only through register_rule().
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(entry: Rule) -> Rule:
+    """Add a rule to the registry; codes must be unique."""
+    if entry.code in RULES:
+        raise ValueError(f"duplicate lint rule code {entry.code!r}")
+    if entry.severity not in SEVERITIES:
+        raise ValueError(f"rule {entry.code}: unknown severity {entry.severity!r}")
+    if entry.layer not in LAYERS:
+        raise ValueError(f"rule {entry.code}: unknown layer {entry.layer!r}")
+    RULES[entry.code] = entry
+    return entry
+
+
+def rule(code: str, *, layer: str, severity: str = "error", summary: str = ""):
+    """Decorator registering a check function under ``code``."""
+
+    def decorate(fn: Callable) -> Callable:
+        register_rule(Rule(code, layer, severity, summary or (fn.__doc__ or "").strip(), fn))
+        return fn
+
+    return decorate
+
+
+# REP001 is emitted by the engine itself when analysis cannot proceed
+# (netlist fails to elaborate, or a rule crashes); it has no check function.
+register_rule(
+    Rule(
+        "REP001",
+        layer="meta",
+        severity="error",
+        summary="analysis could not complete (elaboration or rule failure)",
+        check=None,
+    )
+)
+
+
+@dataclass
+class LintContext:
+    """Everything a check may look at.  Fields are None when not supplied."""
+
+    netlist: Optional[Netlist] = None
+    top: Optional[Module] = None
+    candidates: Optional[List[str]] = None
+    config_memory: Optional[str] = None
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+def _normalize_codes(codes: Union[str, Iterable[str], None]) -> Optional[List[str]]:
+    """Accept ``"REP1,REP305"`` or an iterable; return upper-cased prefixes."""
+    if codes is None:
+        return None
+    if isinstance(codes, str):
+        codes = codes.split(",")
+    cleaned = [c.strip().upper() for c in codes if c and c.strip()]
+    return cleaned or None
+
+
+def _enabled(code: str, select: Optional[List[str]], ignore: Optional[List[str]]) -> bool:
+    """Prefix-based selection: ``REP3`` matches ``REP301``; ignore wins."""
+    if ignore and any(code.startswith(prefix) for prefix in ignore):
+        return False
+    if select:
+        return any(code.startswith(prefix) for prefix in select)
+    return True
+
+
+def _as_diagnostic(entry: Rule, item: CheckResult) -> Diagnostic:
+    if isinstance(item, Diagnostic):
+        return item
+    location, message = item[0], item[1]
+    hint = item[2] if len(item) > 2 else ""
+    return Diagnostic(entry.code, entry.severity, message, location, hint)
+
+
+def _run_layer(
+    layer: str,
+    ctx: LintContext,
+    select: Optional[List[str]],
+    ignore: Optional[List[str]],
+    out: List[Diagnostic],
+) -> None:
+    for entry in sorted(RULES.values(), key=lambda item: item.code):
+        if entry.layer != layer or entry.check is None:
+            continue
+        if not _enabled(entry.code, select, ignore):
+            continue
+        try:
+            for item in entry.check(ctx) or ():
+                diag = _as_diagnostic(entry, item)
+                if _enabled(diag.code, select, ignore):
+                    out.append(diag)
+        except Exception as exc:  # a crashing rule must not kill the report
+            if _enabled("REP001", select, ignore):
+                out.append(
+                    Diagnostic(
+                        "REP001",
+                        "error",
+                        f"rule {entry.code} failed: {exc}",
+                        location=layer,
+                    )
+                )
+
+
+def run_lint(
+    netlist: Optional[Netlist] = None,
+    *,
+    design: Union[ElaboratedDesign, Module, None] = None,
+    candidates: Optional[Sequence[str]] = None,
+    config_memory: Optional[str] = None,
+    elaborate: bool = True,
+    select: Union[str, Iterable[str], None] = None,
+    ignore: Union[str, Iterable[str], None] = None,
+) -> LintReport:
+    """Run every applicable rule and return a :class:`LintReport`.
+
+    Parameters
+    ----------
+    netlist:
+        Declarative architecture to check (netlist-layer rules).  Unless
+        ``design`` is given, it is also elaborated under a scratch
+        simulator — never run — so the design/DRCF layers see the live
+        hierarchy.  Elaboration failure is reported as ``REP001``.
+    design:
+        An already-elaborated :class:`ElaboratedDesign` (or top
+        :class:`Module`) to check instead of scratch-elaborating.
+    candidates, config_memory:
+        Planned arguments of a future
+        :func:`~repro.core.transform.transform_to_drcf` call; supplying
+        them enables the transform-precondition rules (REP304-REP306).
+    elaborate:
+        Set False to run only the pre-elaboration layers.
+    select, ignore:
+        Code prefixes (comma-separated string or iterable) enabling or
+        suppressing rules; ``ignore`` wins over ``select``.
+    """
+    select_list = _normalize_codes(select)
+    ignore_list = _normalize_codes(ignore)
+    diagnostics: List[Diagnostic] = []
+    top = design.top if isinstance(design, ElaboratedDesign) else design
+    ctx = LintContext(
+        netlist=netlist,
+        top=top,
+        candidates=list(candidates) if candidates else None,
+        config_memory=config_memory,
+    )
+    if ctx.netlist is not None:
+        _run_layer("netlist", ctx, select_list, ignore_list, diagnostics)
+        if ctx.candidates:
+            _run_layer("transform", ctx, select_list, ignore_list, diagnostics)
+        if ctx.top is None and elaborate:
+            try:
+                ctx.top = ctx.netlist.elaborate(Simulator(name="lint")).top
+            except Exception as exc:
+                if _enabled("REP001", select_list, ignore_list):
+                    diagnostics.append(
+                        Diagnostic(
+                            "REP001",
+                            "error",
+                            f"netlist does not elaborate: {exc}",
+                            location=ctx.netlist.name,
+                            hint="fix the static diagnostics and re-run",
+                        )
+                    )
+    if ctx.top is not None:
+        _run_layer("design", ctx, select_list, ignore_list, diagnostics)
+        _run_layer("drcf", ctx, select_list, ignore_list, diagnostics)
+    diagnostics.sort(key=lambda d: (d.code, d.location, d.message))
+    return LintReport(diagnostics)
+
+
+def all_rule_codes() -> List[str]:
+    """Every registered diagnostic code, sorted (docs and tests use this)."""
+    return sorted(RULES)
+
+
+# --------------------------------------------------------------------------
+# Netlist-layer rules (pre-elaboration)
+# --------------------------------------------------------------------------
+
+def _spec_loc(ctx: LintContext, spec: ComponentSpec) -> str:
+    return f"{ctx.netlist.name}.{spec.name}"
+
+
+@rule("REP101", layer="netlist", summary="ill-formed component spec")
+def _check_spec_wellformed(ctx: LintContext) -> Iterator[CheckResult]:
+    """Instance names must be non-empty and dot-free; factories callable."""
+    for spec in ctx.netlist.specs:
+        if not spec.name or "." in spec.name:
+            yield (
+                _spec_loc(ctx, spec),
+                f"invalid instance name {spec.name!r} (must be non-empty, no dots)",
+                "rename the component; the kernel rejects it at elaboration",
+            )
+        if not callable(spec.factory):
+            yield (
+                _spec_loc(ctx, spec),
+                f"factory {spec.factory!r} is not callable",
+                "pass a Module subclass or a factory function",
+            )
+
+
+@rule("REP102", layer="netlist", summary="binding references unknown component")
+def _check_dangling_refs(ctx: LintContext) -> Iterator[CheckResult]:
+    """master_of/slave_of must name a component in the netlist."""
+    names = set(ctx.netlist.component_names)
+    for spec in ctx.netlist.specs:
+        for what, target in (("master_of", spec.master_of), ("slave_of", spec.slave_of)):
+            if target is not None and target not in names:
+                yield (
+                    _spec_loc(ctx, spec),
+                    f"{what} references unknown component {target!r}",
+                    f"add a bus named {target!r} or fix the reference",
+                )
+
+
+@rule("REP103", layer="netlist", summary="binding target is not a bus")
+def _check_ref_is_bus(ctx: LintContext) -> Iterator[CheckResult]:
+    """The target of master_of/slave_of must provide the bus interface."""
+    specs = {spec.name: spec for spec in ctx.netlist.specs}
+    for spec in ctx.netlist.specs:
+        for what, target in (("master_of", spec.master_of), ("slave_of", spec.slave_of)):
+            target_spec = specs.get(target)
+            if target_spec is None or not inspect.isclass(target_spec.factory):
+                continue
+            factory = target_spec.factory
+            if what == "slave_of" and not hasattr(factory, "register_slave"):
+                yield (
+                    _spec_loc(ctx, spec),
+                    f"slave_of target {target!r} ({factory.__name__}) has no "
+                    "register_slave; it cannot accept slaves",
+                    "point slave_of at a Bus component",
+                )
+            elif what == "master_of" and not issubclass(factory, BusMasterIf):
+                yield (
+                    _spec_loc(ctx, spec),
+                    f"master_of target {target!r} ({factory.__name__}) does not "
+                    "implement BusMasterIf; mst_port cannot bind to it",
+                    "point master_of at a Bus component",
+                )
+
+
+def _scratch_slave_ranges(netlist: Netlist) -> Dict[str, Tuple[int, int]]:
+    """Address range of each slave spec, by standalone scratch elaboration.
+
+    Each spec is instantiated under its own throwaway simulator (the same
+    move as :func:`~repro.core.transform.analyze_module_spec`); specs that
+    fail to build standalone are skipped — elaboration-order problems are
+    REP001's job, not this helper's.
+    """
+    ranges: Dict[str, Tuple[int, int]] = {}
+    for spec in netlist.specs:
+        if spec.slave_of is None or not callable(spec.factory):
+            continue
+        try:
+            scratch = Simulator(name=f"lint_scratch_{spec.name}")
+            instance = spec.factory(spec.name, sim=scratch, **spec.kwargs)
+            ranges[spec.name] = (int(instance.get_low_add()), int(instance.get_high_add()))
+        except Exception:
+            continue
+    return ranges
+
+
+@rule("REP104", layer="netlist", summary="slave address ranges invalid or overlapping")
+def _check_static_ranges(ctx: LintContext) -> Iterator[CheckResult]:
+    """Slaves of one bus must advertise valid, disjoint address ranges."""
+    ranges = _scratch_slave_ranges(ctx.netlist)
+    by_bus: Dict[str, List[Tuple[int, int, str]]] = {}
+    for spec in ctx.netlist.specs:
+        if spec.name not in ranges:
+            continue
+        low, high = ranges[spec.name]
+        if low < 0 or high < low:
+            yield (
+                _spec_loc(ctx, spec),
+                f"invalid address range [{low:#x}, {high:#x}]",
+                "check base/size parameters",
+            )
+            continue
+        by_bus.setdefault(spec.slave_of, []).append((low, high, spec.name))
+    for bus_name, entries in by_bus.items():
+        entries.sort()
+        for (low1, high1, name1), (low2, high2, name2) in zip(entries, entries[1:]):
+            if high1 >= low2:
+                yield (
+                    f"{ctx.netlist.name}.{name2}",
+                    f"address range [{low2:#x}, {high2:#x}] overlaps "
+                    f"[{low1:#x}, {high1:#x}] of {name1!r} on bus {bus_name!r}",
+                    "give each slave a disjoint base/size window",
+                )
+
+
+@rule("REP105", layer="netlist", summary="slave component does not implement BusSlaveIf")
+def _check_slave_interface(ctx: LintContext) -> Iterator[CheckResult]:
+    """A component with slave_of must implement the slave interface."""
+    for spec in ctx.netlist.specs:
+        if spec.slave_of is None or not inspect.isclass(spec.factory):
+            continue
+        if not issubclass(spec.factory, BusSlaveIf):
+            yield (
+                _spec_loc(ctx, spec),
+                f"{spec.factory.__name__} is a slave of {spec.slave_of!r} but "
+                "does not implement BusSlaveIf",
+                "derive the class from BusSlaveIf (get_low_add/get_high_add/read/write)",
+            )
+
+
+@rule(
+    DEADLOCK_RULE_CODE,
+    layer="netlist",
+    summary="master and slave of the same blocking bus (deadlock precondition)",
+)
+def _check_blocking_self_dependency(ctx: LintContext) -> Iterator[CheckResult]:
+    """The paper's limitation 3: a component that serves slave calls on a
+    blocking bus while needing that same bus as a master deadlocks the
+    system (experiment E7).  Components that declare
+    ``FETCHES_CONFIG_OVER_BUS = False`` (e.g. the reference-[8] baseline)
+    are exempt; unknown components get a hedged warning."""
+    specs = {spec.name: spec for spec in ctx.netlist.specs}
+    for spec in ctx.netlist.specs:
+        if spec.master_of is None or spec.master_of != spec.slave_of:
+            continue
+        bus_spec = specs.get(spec.master_of)
+        if bus_spec is None:  # dangling reference: REP102's finding
+            continue
+        if bus_spec.kwargs.get("protocol", "blocking") != "blocking":
+            continue
+        fetches = (
+            getattr(spec.factory, "FETCHES_CONFIG_OVER_BUS", None)
+            if inspect.isclass(spec.factory)
+            else None
+        )
+        hint = (
+            'use protocol="split" on the bus, or move configuration traffic '
+            "to a dedicated bus (dedicated_config_bus)"
+        )
+        location = _spec_loc(ctx, spec)
+        if fetches:
+            yield Diagnostic(
+                DEADLOCK_RULE_CODE,
+                "error",
+                f"{spec.name!r} is both a master and a slave of blocking bus "
+                f"{spec.master_of!r} and fetches configuration data over it: "
+                "the first slave call that triggers a context switch "
+                "deadlocks (paper Section 5.4, limitation 3)",
+                location,
+                hint,
+            )
+        elif fetches is None:
+            yield Diagnostic(
+                DEADLOCK_RULE_CODE,
+                "warning",
+                f"{spec.name!r} is both a master and a slave of blocking bus "
+                f"{spec.master_of!r}; if it issues master transfers while "
+                "serving a slave call the system deadlocks",
+                location,
+                hint,
+            )
+        # fetches is explicitly falsy (e.g. Ref8Drcf): no bus traffic, exempt.
+
+
+# --------------------------------------------------------------------------
+# Transform-layer rules (planned transform_to_drcf arguments)
+# --------------------------------------------------------------------------
+
+@rule("REP304", layer="transform", summary="transformation preconditions violated")
+def _check_transform_preconditions(ctx: LintContext) -> Iterator[CheckResult]:
+    """Candidates must exist, be unique, and share one bus (limitation 1)."""
+    netlist = ctx.netlist
+    names = set(netlist.component_names)
+    seen: Dict[str, int] = {}
+    for candidate in ctx.candidates:
+        seen[candidate] = seen.get(candidate, 0) + 1
+    for candidate, count in seen.items():
+        if count > 1:
+            yield (
+                f"{netlist.name}.{candidate}",
+                f"candidate {candidate!r} listed {count} times",
+                "each candidate may appear once",
+            )
+        if candidate not in names:
+            yield (
+                f"{netlist.name}.{candidate}",
+                f"unknown candidate {candidate!r}",
+                f"components: {sorted(names)}",
+            )
+    if ctx.config_memory is not None and ctx.config_memory not in names:
+        yield (
+            f"{netlist.name}.{ctx.config_memory}",
+            f"unknown configuration memory {ctx.config_memory!r}",
+            "name an existing memory component",
+        )
+    buses: Dict[str, List[str]] = {}
+    for candidate in ctx.candidates:
+        if candidate not in names:
+            continue
+        spec = netlist.component(candidate)
+        if spec.slave_of is None:
+            yield (
+                _spec_loc(ctx, spec),
+                f"candidate {candidate!r} is not a slave of any bus",
+                "the DRCF replaces candidates on their shared bus",
+            )
+        else:
+            buses.setdefault(spec.slave_of, []).append(candidate)
+    if len(buses) > 1:
+        detail = ", ".join(f"{bus}: {sorted(members)}" for bus, members in sorted(buses.items()))
+        yield (
+            netlist.name,
+            "candidates must all be slaves of the same bus (paper Section "
+            f"5.4, limitation 1); got {detail}",
+            "transform each bus's candidates into its own DRCF",
+        )
+
+
+@rule("REP305", layer="transform", summary="candidate lacks address-range methods")
+def _check_candidate_ranges(ctx: LintContext) -> Iterator[CheckResult]:
+    """Limitation 2: candidates need get_low_add/get_high_add for routing."""
+    names = set(ctx.netlist.component_names)
+    for candidate in ctx.candidates:
+        if candidate not in names:
+            continue
+        factory = ctx.netlist.component(candidate).factory
+        if not inspect.isclass(factory):
+            continue
+        if not (hasattr(factory, "get_low_add") and hasattr(factory, "get_high_add")):
+            yield (
+                f"{ctx.netlist.name}.{candidate}",
+                f"{factory.__name__} lacks get_low_add/get_high_add; the "
+                "transformation needs them to build the routing multiplexer "
+                "(paper Section 5.4, limitation 2)",
+                "add both methods returning the decoded address range",
+            )
+
+
+@rule("REP306", layer="transform", summary="candidate does not implement BusSlaveIf")
+def _check_candidate_slave_if(ctx: LintContext) -> Iterator[CheckResult]:
+    """The DRCF can only take the bus place of BusSlaveIf implementations."""
+    names = set(ctx.netlist.component_names)
+    for candidate in ctx.candidates:
+        if candidate not in names:
+            continue
+        factory = ctx.netlist.component(candidate).factory
+        if inspect.isclass(factory) and not issubclass(factory, BusSlaveIf):
+            yield (
+                f"{ctx.netlist.name}.{candidate}",
+                f"candidate {candidate!r} ({factory.__name__}) does not "
+                "implement BusSlaveIf; the DRCF cannot take its place on the bus",
+                "fold only bus slaves into the fabric",
+            )
+
+
+# --------------------------------------------------------------------------
+# Design-layer rules (elaborated hierarchy)
+# --------------------------------------------------------------------------
+
+def _modules_of(top: Module) -> Iterator[Module]:
+    yield top
+    yield from top.descendants()
+
+
+@rule("REP201", layer="design", summary="required port left unbound")
+def _check_unbound_ports(ctx: LintContext) -> Iterator[CheckResult]:
+    """Every non-optional port must resolve to an implementation."""
+    for module in _modules_of(ctx.top):
+        for port in ports_of(module):
+            if port.optional:
+                continue
+            chain, impl = port.binding_chain()
+            if impl is not None or chain[-1]._bound is not None:
+                continue  # bound, or a cycle (REP202's finding)
+            if len(chain) == 1:
+                message = "port is unbound"
+            else:
+                message = f"port chains to unbound port {chain[-1].full_name}"
+            yield (
+                port.full_name,
+                message,
+                "bind it during elaboration, or declare it with optional=True",
+            )
+
+
+@rule("REP202", layer="design", summary="port binding chain forms a cycle")
+def _check_port_cycles(ctx: LintContext) -> Iterator[CheckResult]:
+    """Port-to-port bindings must terminate at an implementation."""
+    for module in _modules_of(ctx.top):
+        for port in ports_of(module):
+            chain, impl = port.binding_chain()
+            if impl is None and chain[-1]._bound is not None:
+                path = " -> ".join(p.full_name for p in chain)
+                yield (
+                    port.full_name,
+                    f"port binding chain forms a cycle: {path} -> "
+                    f"{chain[-1]._bound.full_name}",
+                    "one port in the cycle must bind to a channel or module",
+                )
+
+
+@rule("REP203", layer="design", summary="port bound to wrong interface")
+def _check_port_interfaces(ctx: LintContext) -> Iterator[CheckResult]:
+    """The resolved implementation must satisfy the port's interface."""
+    for module in _modules_of(ctx.top):
+        for port in ports_of(module):
+            if port.iface is None:
+                continue
+            _, impl = port.binding_chain()
+            if impl is not None and not isinstance(impl, port.iface):
+                yield (
+                    port.full_name,
+                    f"bound to {type(impl).__name__}, which does not implement "
+                    f"{port.iface.__name__}",
+                    "bind an implementation of the declared interface",
+                )
+
+
+def _signal_writers(module: Module) -> Dict[str, List[str]]:
+    """Map signal attribute -> names of this module's processes writing it.
+
+    Static approximation: parses each process function's source for
+    ``self.<attr>.write(...)`` calls and matches ``<attr>`` against the
+    module's :func:`~repro.kernel.signals_of` attributes.  Only methods
+    bound to the module itself are inspected, so a shared helper written
+    against another object never miscounts.
+    """
+    signals = signals_of(module)
+    if not signals:
+        return {}
+    writers: Dict[str, List[str]] = {}
+    for process in processes_of(module):
+        fn = getattr(process, "fn", None)
+        if fn is None or getattr(fn, "__self__", None) is not module:
+            continue
+        try:
+            tree = ast.parse(textwrap.dedent(inspect.getsource(fn)))
+        except (OSError, TypeError, SyntaxError):
+            continue
+        touched = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "write"
+                and isinstance(node.func.value, ast.Attribute)
+                and isinstance(node.func.value.value, ast.Name)
+                and node.func.value.value.id == "self"
+                and node.func.value.attr in signals
+            ):
+                touched.add(node.func.value.attr)
+        name = getattr(process, "name", repr(process))
+        for attr in touched:
+            writers.setdefault(attr, []).append(name)
+    return writers
+
+
+@rule("REP204", layer="design", severity="warning", summary="signal written by several processes")
+def _check_multi_writer_signals(ctx: LintContext) -> Iterator[CheckResult]:
+    """``sc_signal`` semantics assume one writer; two racing writers make
+    the committed value depend on evaluation order within a delta."""
+    for module in _modules_of(ctx.top):
+        for attr, names in sorted(_signal_writers(module).items()):
+            if len(names) >= 2:
+                yield (
+                    f"{module.full_name}.{attr}",
+                    f"signal is written by {len(names)} processes: "
+                    f"{', '.join(sorted(names))}",
+                    "give each signal a single writer (or merge the processes)",
+                )
+
+
+@rule("REP205", layer="design", summary="elaborated bus has invalid or overlapping slaves")
+def _check_elaborated_ranges(ctx: LintContext) -> Iterator[CheckResult]:
+    """Re-checks slave ranges on the live bus (catches post-elaboration
+    mutation that bypassed register_slave's own guard)."""
+    for module in _modules_of(ctx.top):
+        if not isinstance(module, Bus):
+            continue
+        entries: List[Tuple[int, int, str]] = []
+        for slave in module.slaves:
+            name = getattr(slave, "full_name", type(slave).__name__)
+            try:
+                low, high = int(slave.get_low_add()), int(slave.get_high_add())
+            except Exception:
+                yield (module.full_name, f"slave {name} cannot report its address range")
+                continue
+            if low < 0 or high < low:
+                yield (
+                    module.full_name,
+                    f"slave {name} advertises invalid range [{low:#x}, {high:#x}]",
+                )
+            else:
+                entries.append((low, high, name))
+        entries.sort()
+        for (low1, high1, name1), (low2, high2, name2) in zip(entries, entries[1:]):
+            if high1 >= low2:
+                yield (
+                    module.full_name,
+                    f"slaves {name1} [{low1:#x}, {high1:#x}] and {name2} "
+                    f"[{low2:#x}, {high2:#x}] overlap",
+                    "give each slave a disjoint window",
+                )
+
+
+@rule("REP206", layer="design", severity="info", summary="bus has no slaves")
+def _check_empty_bus(ctx: LintContext) -> Iterator[CheckResult]:
+    """A bus without slaves fails every transfer at runtime."""
+    for module in _modules_of(ctx.top):
+        if isinstance(module, Bus) and not module.slaves:
+            yield (
+                module.full_name,
+                "bus has no slaves; every transfer will fail to decode",
+                "register at least one slave, or drop the bus",
+            )
+
+
+# --------------------------------------------------------------------------
+# DRCF-layer rules (elaborated fabrics)
+# --------------------------------------------------------------------------
+
+def _drcfs_of(top: Module) -> Iterator[Drcf]:
+    for module in _modules_of(top):
+        if isinstance(module, Drcf):
+            yield module
+
+
+def _store_of(drcf: Drcf) -> Optional[object]:
+    """Where this fabric's configuration fetches go (bus or direct memory)."""
+    _, impl = drcf.mst_port.binding_chain()
+    return impl
+
+
+def _slave_serving(store: object, addr: int) -> Optional[object]:
+    """The slave (or the store itself) decoding ``addr``, if determinable."""
+    if isinstance(store, Bus):
+        for slave in store.slaves:
+            if int(slave.get_low_add()) <= addr <= int(slave.get_high_add()):
+                return slave
+        return None
+    if hasattr(store, "get_low_add"):
+        if int(store.get_low_add()) <= addr <= int(store.get_high_add()):
+            return store
+        return None
+    return None
+
+
+def _store_name(store: object) -> str:
+    return getattr(store, "full_name", type(store).__name__)
+
+
+@rule("REP301", layer="drcf", summary="context configuration regions overlap")
+def _check_region_overlap(ctx: LintContext) -> Iterator[CheckResult]:
+    """Bitstream regions sharing one backing memory must be disjoint —
+    also across fabrics, which no single transformation can see."""
+    regions: List[Tuple[int, str, int, int, str]] = []
+    for drcf in _drcfs_of(ctx.top):
+        store = _store_of(drcf)
+        if store is None:
+            continue  # unbound master port: REP201's finding
+        for context in drcf.contexts:
+            params = context.params
+            if params.size_bytes <= 0 or params.config_addr < 0:
+                continue  # REP303's finding
+            low = params.config_addr
+            high = low + params.size_bytes - 1
+            backing = _slave_serving(store, low) or store
+            regions.append(
+                (id(backing), _store_name(backing), low, high, f"{drcf.full_name}:{context.name}")
+            )
+    regions.sort(key=lambda r: (r[0], r[2], r[3]))
+    for (key1, store1, low1, high1, label1), (key2, _, low2, high2, label2) in zip(
+        regions, regions[1:]
+    ):
+        if key1 == key2 and high1 >= low2:
+            yield (
+                label2,
+                f"configuration region [{low2:#x}, {high2:#x}] overlaps "
+                f"[{low1:#x}, {high1:#x}] of {label1} in {store1}",
+                "allocate disjoint bitstream windows (raise config_region_bytes "
+                "or pass distinct config_base values)",
+            )
+
+
+@rule("REP302", layer="drcf", summary="context region not backed by a memory slave")
+def _check_region_backing(ctx: LintContext) -> Iterator[CheckResult]:
+    """Every bitstream region must fit inside a slave reachable from the
+    fabric's master port, or the first context switch fails to decode."""
+    for drcf in _drcfs_of(ctx.top):
+        store = _store_of(drcf)
+        if store is None:
+            continue
+        if not isinstance(store, Bus) and not hasattr(store, "get_low_add"):
+            continue  # not range-introspectable; nothing to check statically
+        for context in drcf.contexts:
+            params = context.params
+            if params.size_bytes <= 0 or params.config_addr < 0:
+                continue
+            low = params.config_addr
+            high = low + params.size_bytes - 1
+            location = f"{drcf.full_name}:{context.name}"
+            backing = _slave_serving(store, low)
+            if backing is None:
+                yield (
+                    location,
+                    f"no slave on {_store_name(store)} serves the configuration "
+                    f"region [{low:#x}, {high:#x}]",
+                    "place the region inside the configuration memory's range",
+                )
+            elif high > int(backing.get_high_add()):
+                yield (
+                    location,
+                    f"configuration region [{low:#x}, {high:#x}] extends past "
+                    f"the end of {_store_name(backing)} "
+                    f"({int(backing.get_high_add()):#x})",
+                    "grow the memory or move the region",
+                )
+
+
+@rule("REP303", layer="drcf", summary="invalid context parameters")
+def _check_context_params(ctx: LintContext) -> Iterator[CheckResult]:
+    """Context sizes must be positive and addresses non-negative."""
+    for drcf in _drcfs_of(ctx.top):
+        for context in drcf.contexts:
+            params = context.params
+            location = f"{drcf.full_name}:{context.name}"
+            if params.size_bytes <= 0:
+                yield (
+                    location,
+                    f"context size {params.size_bytes} bytes is not positive",
+                    "a context's bitstream must occupy at least one byte",
+                )
+            if params.config_addr < 0:
+                yield (
+                    location,
+                    f"configuration address {params.config_addr} is negative",
+                    "allocate the bitstream at a non-negative address",
+                )

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from ..bus import Bus
 from ..core import Drcf, PowerModel
-from ..kernel import SimTime, Simulator
+from ..kernel import Simulator
 
 
 @dataclass

@@ -20,11 +20,11 @@ Concrete classes are built by mixing with an algorithm class, e.g.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ...bus import BusMasterIf
 from ...kernel import Port, SimulationError, ZERO_TIME
-from .base import Accelerator, STATUS_BUSY, STATUS_DONE, _to_signed, _WORD_MASK
+from .base import Accelerator, STATUS_DONE, _to_signed, _WORD_MASK
 from .fir import FirAccelerator
 from .crypto import CryptoAccelerator
 

@@ -19,7 +19,7 @@ keep both contexts resident).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..bus import DmaController, DmaDescriptor

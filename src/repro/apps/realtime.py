@@ -13,7 +13,7 @@ locate each preset's sustainable rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List
 
 from ..cpu import Processor
 from ..kernel import Fifo, Module, SimTime

@@ -12,7 +12,7 @@ so the same workload drives either architecture unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bus import Bus, ConfigMemory, DmaController, Memory
@@ -21,7 +21,6 @@ from ..core.policies import ReplacementPolicy
 from ..cpu import Processor
 from ..tech import ReconfigTechnology, VIRTEX2PRO
 from .accelerators import (
-    Accelerator,
     CryptoAccelerator,
     DctAccelerator,
     FftAccelerator,

@@ -8,6 +8,8 @@ Drives the reproduction's main entry points without writing Python::
     python -m repro flow --tech varicore
     python -m repro transform --accels fir,fft --tech virtex2pro --listing
     python -m repro deadlock
+    python -m repro lint examples/*.py
+    python -m repro lint --builtin broken --json
 
 Every command prints the same tables the experiment benches regenerate.
 """
@@ -94,6 +96,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("deadlock", help="reproduce the Section 5.4 deadlock matrix")
+
+    lint = sub.add_parser(
+        "lint", help="statically verify netlists (no simulation); see docs/LINT.md"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "Python files to lint; each is imported and its build_netlist() "
+            "result plus any module-level Netlist objects are checked"
+        ),
+    )
+    lint.add_argument(
+        "--builtin",
+        choices=("baseline", "reconfigurable", "deadlock", "broken"),
+        default=None,
+        help="lint a built-in architecture template instead of files",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--select", default=None, help="comma-separated code prefixes to enable (e.g. REP3)"
+    )
+    lint.add_argument(
+        "--ignore", default=None, help="comma-separated code prefixes to suppress"
+    )
+    lint.add_argument(
+        "--strict", action="store_true", help="warnings also make the exit code non-zero"
+    )
+    lint.add_argument(
+        "--no-elaborate",
+        action="store_true",
+        help="pre-elaboration rules only (skip design/DRCF layers)",
+    )
 
     experiments = sub.add_parser(
         "experiments",
@@ -282,6 +317,148 @@ def cmd_deadlock(args) -> int:
     return 0
 
 
+def _load_netlists_from_file(path: str, index: int) -> List[tuple]:
+    """Import ``path`` and collect its netlists.
+
+    The module is loaded under a private name (never ``__main__``), so the
+    usual ``if __name__ == "__main__":`` guard in examples keeps their
+    simulations from running.  Collected are the result of a module-level
+    ``build_netlist()`` (a ``Netlist`` or a ``(Netlist, info)`` tuple, the
+    convention all shipped examples follow) plus any module-level
+    ``Netlist`` globals.
+    """
+    import importlib.util
+
+    from .core.netlist import Netlist
+
+    spec = importlib.util.spec_from_file_location(f"_repro_lint_target_{index}", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot import {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    found: List[tuple] = []
+    build = getattr(module, "build_netlist", None)
+    if callable(build):
+        result = build()
+        if isinstance(result, tuple) and result:
+            result = result[0]
+        if isinstance(result, Netlist):
+            found.append((f"{path}:build_netlist()", result))
+    for attr, value in sorted(vars(module).items()):
+        if isinstance(value, Netlist):
+            found.append((f"{path}:{attr}", value))
+    return found
+
+
+def _builtin_netlists(which: str) -> List[tuple]:
+    """The template architectures reachable by ``lint --builtin``."""
+    from .apps.soc import (
+        make_baseline_netlist,
+        make_multi_fabric_netlist,
+        make_reconfigurable_netlist,
+    )
+    from .tech import MORPHOSYS
+
+    if which == "baseline":
+        return [("builtin:baseline", make_baseline_netlist()[0])]
+    if which == "reconfigurable":
+        return [("builtin:reconfigurable", make_reconfigurable_netlist()[0])]
+    if which == "deadlock":
+        # The experiment-E7 architecture: the DRCF fetches bitstreams over
+        # the same blocking bus it serves — the limitation-3 deadlock.
+        return [
+            (
+                "builtin:deadlock",
+                make_reconfigurable_netlist(bus_protocol="blocking")[0],
+            )
+        ]
+    if which == "broken":
+        # Deliberately broken: two fabrics whose bitstream windows are far
+        # too small, so their configuration regions overlap in cfgmem
+        # (REP301) — plus a bus nothing is connected to (REP206).
+        from .bus import Bus
+
+        netlist, _ = make_multi_fabric_netlist(
+            {"fabric_a": (("fir",), MORPHOSYS), "fabric_b": (("fft",), MORPHOSYS)},
+            config_region_bytes=64,
+        )
+        netlist.add("orphan_bus", Bus)
+        return [("builtin:broken", netlist)]
+    raise ValueError(f"unknown builtin {which!r}")
+
+
+def cmd_lint(args) -> int:
+    import json
+
+    from .analysis.lint import run_lint
+
+    targets: List[tuple] = []
+    load_failures = 0
+    if args.builtin:
+        targets.extend(_builtin_netlists(args.builtin))
+    for index, path in enumerate(args.paths):
+        try:
+            found = _load_netlists_from_file(path, index)
+        except Exception as exc:
+            print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+            load_failures += 1
+            continue
+        if not found:
+            print(
+                f"error: {path} defines no build_netlist() and no Netlist globals",
+                file=sys.stderr,
+            )
+            load_failures += 1
+            continue
+        targets.extend(found)
+    if not args.builtin and not args.paths:
+        # Self-check mode: lint the shipped clean templates.
+        targets.extend(_builtin_netlists("baseline"))
+        targets.extend(_builtin_netlists("reconfigurable"))
+    if load_failures or not targets:
+        if not targets:
+            print("error: nothing to lint", file=sys.stderr)
+        return 2
+
+    reports = [
+        (
+            label,
+            run_lint(
+                netlist,
+                elaborate=not args.no_elaborate,
+                select=args.select,
+                ignore=args.ignore,
+            ),
+        )
+        for label, netlist in targets
+    ]
+    errors = sum(len(report.errors) for _, report in reports)
+    warnings = sum(len(report.warnings) for _, report in reports)
+    if args.json:
+        payload = [
+            {
+                "netlist": label,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "diagnostics": report.to_dicts(),
+            }
+            for label, report in reports
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for label, report in reports:
+            print(f"== {label} ==")
+            print(report.render())
+            print()
+        print(
+            f"linted {len(reports)} netlist(s): {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "compare": cmd_compare,
@@ -289,6 +466,7 @@ _COMMANDS = {
     "flow": cmd_flow,
     "transform": cmd_transform,
     "deadlock": cmd_deadlock,
+    "lint": cmd_lint,
     "experiments": cmd_experiments,
 }
 

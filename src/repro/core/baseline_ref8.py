@@ -32,6 +32,10 @@ class Ref8Drcf(Drcf):
     arbitration or transfer happens.
     """
 
+    #: No configuration traffic ever reaches the bus, so the limitation-3
+    #: blocking-bus lint rule (REP310) exempts this class.
+    FETCHES_CONFIG_OVER_BUS = False
+
     def _fetch_config(self, config_addr: int, n_words: int, context_name: str):
         # The port-bound load time is applied by the scheduler on top of a
         # zero-time "fetch" (elapsed == 0 here), so the modeled delay equals

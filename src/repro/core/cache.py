@@ -14,8 +14,6 @@ memory-organization knob, Section 5.3); experiment A5 sweeps the capacity.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
-
 from ..kernel import SimTime, cycles_to_time
 
 

@@ -18,10 +18,10 @@ same artifacts from our netlist representation:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from ..kernel import KernelError, Module, SimTime, Simulator
-from .netlist import ComponentSpec, ElaboratedDesign, Netlist
+from .netlist import Netlist
 from .policies import ReplacementPolicy
 from .transform import TransformReport
 

@@ -16,7 +16,7 @@ the area/power models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..kernel import SimTime, ZERO_TIME

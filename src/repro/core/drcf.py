@@ -24,7 +24,6 @@ loads (multi-context devices) proceed in parallel with execution.
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from ..bus import BusMasterIf, BusSlaveIf
@@ -67,6 +66,14 @@ class Drcf(Module, BusSlaveIf):
         Gate budget when ``use_area_slots`` is set; defaults to the largest
         context (single-context equivalent) — pass more to host several.
     """
+
+    #: Context switches issue master reads on the bound bus.  The static
+    #: lint pass (REP310) uses this class flag to tell whether placing the
+    #: component as master *and* slave of one blocking bus is the paper's
+    #: limitation-3 deadlock (True), harmless (False, e.g. the reference-[8]
+    #: baseline which models delay without traffic), or merely suspicious
+    #: (attribute absent on non-DRCF components).
+    FETCHES_CONFIG_OVER_BUS = True
 
     def __init__(
         self,

@@ -16,7 +16,6 @@ rewrites them.  The Python analogue of that source level is a declarative
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 

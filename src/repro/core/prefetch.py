@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..kernel import Module
 from .drcf import Drcf

@@ -10,7 +10,7 @@ reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..kernel import SimTime, TimelineRecorder, ZERO_TIME

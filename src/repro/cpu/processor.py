@@ -17,7 +17,7 @@ CPU's services::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..bus import BusMasterIf
 from ..kernel import (

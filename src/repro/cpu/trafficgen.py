@@ -13,7 +13,7 @@ import random
 from typing import Optional
 
 from ..bus import BusMasterIf
-from ..kernel import Module, Port, SimTime, cycles_to_time
+from ..kernel import Module, Port, cycles_to_time
 
 
 class TrafficGenerator(Module):

@@ -30,7 +30,7 @@ Recognized parameters (all optional unless noted):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..apps import (
     JobRunner,

@@ -9,7 +9,7 @@ are fully independent and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from .space import ParameterSpace

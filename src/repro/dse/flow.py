@@ -20,9 +20,10 @@ examples and documentation can show the full flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..analysis.lint import LintReport, run_lint
 from ..apps import (
     JobRunner,
     frame_interleaved_jobs,
@@ -31,7 +32,7 @@ from ..apps import (
 )
 from ..apps.soc import ACCELERATOR_CLASSES, SocInfo, accelerator_gate_counts
 from ..core import Netlist, TransformResult, transform_to_drcf
-from ..kernel import SimTime, SimulationError, Simulator
+from ..kernel import SimulationError, Simulator
 from ..tech import ReconfigTechnology
 from .partition import (
     BlockProfile,
@@ -65,6 +66,10 @@ class FlowResult:
     baseline_run: StageRun
     mapped_run: Optional[StageRun]
     back_annotated_run: Optional[StageRun] = None
+    #: Static verification reports (repro.analysis.lint) of the stage-2
+    #: template and the stage-4 mapped netlist.
+    baseline_lint: Optional[LintReport] = None
+    mapped_lint: Optional[LintReport] = None
 
     def summary_rows(self) -> List[Dict[str, object]]:
         """Comparison rows for the flow report."""
@@ -136,8 +141,15 @@ class AdriaticFlow:
         jobs = frame_interleaved_jobs(self.accels, self.n_frames, seed=self.seed)
         golden = {job.label: golden_outputs(job) for job in jobs}
 
-        # Stage 2: architecture template (Figure 1a).
+        # Stage 2: architecture template (Figure 1a), statically verified
+        # before anything simulates: a template that fails the model lint
+        # would waste every later stage.
         baseline, info = make_baseline_netlist(self.accels)
+        baseline_lint = run_lint(baseline)
+        if baseline_lint.has_errors:
+            raise SimulationError(
+                f"stage-2 architecture template fails lint:\n{baseline_lint.render()}"
+            )
 
         # Stage 5a: simulate the baseline (also the profiling run).
         baseline_run = self._run_architecture(baseline, info, jobs)
@@ -156,8 +168,22 @@ class AdriaticFlow:
         transform: Optional[TransformResult] = None
         mapped_run: Optional[StageRun] = None
         back_run: Optional[StageRun] = None
+        mapped_lint: Optional[LintReport] = None
         if recommendation.candidates:
-            # Stage 4: mapping — fold the recommended candidates.
+            # Stage 4: mapping — fold the recommended candidates.  The
+            # transform-precondition rules (REP304-REP306) run first so a
+            # bad partitioning is rejected with diagnostics, not a stack
+            # trace from inside the transformation.
+            precheck = run_lint(
+                baseline,
+                candidates=recommendation.candidates,
+                config_memory=info.config_memory_name,
+                elaborate=False,
+            )
+            if precheck.has_errors:
+                raise SimulationError(
+                    f"stage-4 mapping preconditions fail lint:\n{precheck.render()}"
+                )
             transform = transform_to_drcf(
                 baseline,
                 recommendation.candidates,
@@ -166,6 +192,11 @@ class AdriaticFlow:
                 config_base=info.cfg_base,
             )
             info.drcf_name = transform.report.drcf_name
+            mapped_lint = run_lint(transform.netlist)
+            if mapped_lint.has_errors:
+                raise SimulationError(
+                    f"stage-4 mapped netlist fails lint:\n{mapped_lint.render()}"
+                )
             # Stage 5b: simulate the mapped architecture.
             mapped_run = self._run_architecture(transform.netlist, info, jobs)
 
@@ -194,4 +225,6 @@ class AdriaticFlow:
             baseline_run=baseline_run,
             mapped_run=mapped_run,
             back_annotated_run=back_run,
+            baseline_lint=baseline_lint,
+            mapped_lint=mapped_lint,
         )

@@ -42,10 +42,10 @@ from .errors import (
     SimulationError,
 )
 from .event import Event
-from .module import Module
+from .module import Module, processes_of
 from .ports import Interface, Port, implemented_interfaces, ports_of
 from .process import TIMEOUT, AllOf, AnyOf, MethodProcess, ProcessState, ThreadProcess
-from .signal import Clock, Signal
+from .signal import Clock, Signal, signals_of
 from .simtime import ZERO_TIME, SimTime, cycles_to_time, fs, ms, ns, ps, sec, us
 from .simulator import Simulator, SimulatorStats, TimedAction
 from .tracing import TimelineRecorder, VcdTracer
@@ -87,9 +87,11 @@ __all__ = [
     "ms",
     "ns",
     "ports_of",
+    "processes_of",
     "ps",
     "saturate_signed",
     "sec",
+    "signals_of",
     "sint",
     "uint",
     "us",

@@ -122,9 +122,20 @@ class Module:
         self.sim.register_process(process)
         return process
 
+    @property
+    def processes(self) -> List[object]:
+        """Processes declared by this module, in declaration order."""
+        return list(self._processes)
+
     def event(self, name: str = "event") -> Event:
         """Create an event named under this module."""
         return Event(self.sim, f"{self.full_name}.{name}")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.full_name!r})"
+
+
+def processes_of(module: Module) -> List[object]:
+    """All processes declared by ``module`` (the process half of the
+    introspection API, alongside ``ports_of`` and ``signals_of``)."""
+    return list(module._processes)

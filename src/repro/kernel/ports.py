@@ -18,7 +18,7 @@ Method calls delegate through the port::
 from __future__ import annotations
 
 from abc import ABC
-from typing import TYPE_CHECKING, List, Optional, Type
+from typing import TYPE_CHECKING, List, Optional, Tuple, Type
 
 from .errors import BindingError
 
@@ -66,6 +66,10 @@ class Port:
         Optional interface class the bound object must implement.
     name:
         Port name (used in diagnostics and by the transformation tool).
+    optional:
+        Declare the port as allowed to stay unbound (an ``sc_port`` with a
+        zero minimum binding count).  The static lint pass (REP201) skips
+        optional ports; resolving one while unbound still raises.
     """
 
     def __init__(
@@ -73,10 +77,12 @@ class Port:
         owner: "Module",
         iface: Optional[Type[Interface]] = None,
         name: str = "port",
+        optional: bool = False,
     ) -> None:
         self.owner = owner
         self.iface = iface
         self.name = name
+        self.optional = optional
         self._bound: Optional[object] = None
         if not hasattr(owner, "_ports"):
             owner._ports = []  # type: ignore[attr-defined]
@@ -127,6 +133,27 @@ class Port:
                 f"which does not implement {self.iface.__name__}"
             )
         return impl
+
+    def binding_chain(self) -> "Tuple[List[Port], Optional[object]]":
+        """The port-to-port chain from this port to its implementation.
+
+        Returns ``(ports, impl)`` where ``ports`` starts with this port and
+        lists every port traversed, and ``impl`` is the terminal interface
+        implementation — or ``None`` when the chain ends at an unbound port
+        or revisits a port (a binding cycle).  Unlike :meth:`resolve` this
+        never raises and never loops, which is what the static lint pass
+        (REP201/REP202) needs to describe broken bindings.
+        """
+        chain: List[Port] = [self]
+        seen = {id(self)}
+        impl = self._bound
+        while isinstance(impl, Port):
+            if id(impl) in seen:
+                return chain, None
+            chain.append(impl)
+            seen.add(id(impl))
+            impl = impl._bound
+        return chain, impl
 
     def __call__(self) -> object:
         """SystemC-style access: ``port()`` returns the bound interface."""

@@ -234,6 +234,11 @@ class Process:
         return self.state is ProcessState.TERMINATED
 
     @property
+    def fn(self) -> Callable:
+        """The Python callable this process runs (for introspection/lint)."""
+        return self._fn
+
+    @property
     def wait_description(self) -> Optional[str]:
         """Description of the current wait, for deadlock diagnosis."""
         spec = self._wait_spec

@@ -106,6 +106,22 @@ class Signal(Generic[T]):
         return f"Signal({self.name!r}={self._current!r})"
 
 
+def signals_of(module: Module) -> "dict[str, Signal]":
+    """Signals held in attributes of ``module``, keyed by attribute name.
+
+    The signal half of the introspection API (``ports_of`` is the port
+    half): modules do not register their signals anywhere, so this scans
+    the instance attributes — sufficient for the idiomatic
+    ``self.done = Signal(...)`` declaration style, and what the static
+    lint pass (REP204) uses to match signals against writer processes.
+    """
+    found: dict[str, Signal] = {}
+    for attr, value in vars(module).items():
+        if isinstance(value, Signal):
+            found[attr] = value
+    return found
+
+
 class Clock(Module):
     """A periodic boolean clock signal, pausable for clock morphing.
 

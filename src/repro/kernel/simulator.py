@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Optional
 
 from .errors import DeadlockError, ElaborationError, SchedulingError
 from .event import Event
-from .process import MethodProcess, Process, ProcessState, ThreadProcess
+from .process import Process, ProcessState, ThreadProcess
 from .simtime import SimTime, ZERO_TIME
 
 

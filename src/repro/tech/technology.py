@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
-
 from ..kernel import SimTime, ZERO_TIME, cycles_to_time
 
 

@@ -10,7 +10,7 @@ from repro.core import (
     analyze_module_spec,
     transform_to_drcf,
 )
-from repro.kernel import ElaborationError, Simulator, us
+from repro.kernel import ElaborationError, Module as ModuleBase, Simulator, us
 from repro.tech import MORPHOSYS, VIRTEX2PRO
 
 
@@ -185,3 +185,86 @@ class TestValidation:
                 netlist, ["fir"], tech=VIRTEX2PRO,
                 config_memory="cfgmem", config_base=info.cfg_base,
             )
+
+
+class _RangedNonSlave(ModuleBase):
+    """Advertises an address range but does not implement BusSlaveIf."""
+
+    def __init__(self, name, parent=None, sim=None, base=0x1000, **_kwargs):
+        super().__init__(name, parent=parent, sim=sim)
+        self.base = base
+
+    def get_low_add(self):
+        return self.base
+
+    def get_high_add(self):
+        return self.base + 0xFF
+
+
+class TestErrorPaths:
+    """The failure modes a designer actually hits when driving the tool."""
+
+    def test_unknown_candidate_name(self, baseline):
+        netlist, info = baseline
+        with pytest.raises(ElaborationError, match="no component 'nonesuch'"):
+            transform_to_drcf(
+                netlist, ["nonesuch"], tech=VIRTEX2PRO,
+                config_memory="cfgmem", config_base=info.cfg_base,
+            )
+
+    def test_unknown_config_memory(self, baseline):
+        netlist, info = baseline
+        with pytest.raises(ElaborationError, match="no component 'nomem'"):
+            transform_to_drcf(
+                netlist, ["fir"], tech=VIRTEX2PRO,
+                config_memory="nomem", config_base=info.cfg_base,
+            )
+
+    def test_drcf_name_collides_with_existing_instance(self, baseline):
+        netlist, info = baseline
+        with pytest.raises(ElaborationError, match="duplicate component 'cpu'"):
+            transform_to_drcf(
+                netlist, ["fir"], tech=VIRTEX2PRO,
+                config_memory="cfgmem", config_base=info.cfg_base,
+                drcf_name="cpu",
+            )
+
+    def test_candidate_not_a_bus_slave_interface(self, baseline):
+        netlist, info = baseline
+        spec = netlist.component("fir")
+        spec.factory = _RangedNonSlave
+        spec.kwargs = {"base": info.accel_bases["fir"]}
+        with pytest.raises(ElaborationError, match="does not implement BusSlaveIf"):
+            transform_to_drcf(
+                netlist, ["fir"], tech=VIRTEX2PRO,
+                config_memory="cfgmem", config_base=info.cfg_base,
+            )
+
+    def test_first_component_candidate_uses_none_anchor(self):
+        # When the first declared component is a candidate there is no
+        # anchor to insert after; the DRCF must take the head position.
+        from repro.apps.accelerators import FirAccelerator
+        from repro.bus import Bus, ConfigMemory
+        from repro.core import Netlist
+
+        netlist = Netlist("head")
+        netlist.add("fir", FirAccelerator, slave_of="system_bus", base=0x1000_0000)
+        netlist.add("system_bus", Bus, protocol="split")
+        netlist.add(
+            "cfgmem", ConfigMemory, slave_of="system_bus",
+            base=0x2000_0000, size_words=4 * 1024 * 1024,
+        )
+        result = transform_to_drcf(
+            netlist, ["fir"], tech=VIRTEX2PRO,
+            config_memory="cfgmem", config_base=0x2000_0000,
+        )
+        assert result.netlist.component_names[0] == "drcf1"
+
+    def test_insert_after_missing_anchor_rejected(self, baseline):
+        from repro.core.netlist import ComponentSpec
+
+        netlist, _ = baseline
+        clone = netlist.clone()
+        spec = ComponentSpec(name="late", factory=lambda name, parent=None: None)
+        with pytest.raises(ElaborationError, match="no anchor 'ghost'"):
+            clone.insert_after("ghost", spec)

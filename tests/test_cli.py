@@ -107,3 +107,83 @@ class TestCommands:
         assert len(failing) == 1
         assert "blocking" in failing[0]
         assert out.count("2/2") == 3
+
+
+class TestLint:
+    BROKEN = (
+        "from repro.apps.soc import make_multi_fabric_netlist\n"
+        "from repro.tech import MORPHOSYS\n"
+        "\n"
+        "def build_netlist():\n"
+        "    return make_multi_fabric_netlist(\n"
+        "        {'f1': (('fir',), MORPHOSYS), 'f2': (('fft',), MORPHOSYS)},\n"
+        "        config_region_bytes=64,\n"
+        "    )\n"
+    )
+    CLEAN = (
+        "from repro.apps.soc import make_baseline_netlist\n"
+        "\n"
+        "def build_netlist():\n"
+        "    return make_baseline_netlist(('fir',))\n"
+    )
+
+    def test_lint_broken_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken_arch.py"
+        path.write_text(self.BROKEN)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP301" in out
+        assert "error(s)" in out
+
+    def test_lint_clean_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "clean_arch.py"
+        path.write_text(self.CLEAN)
+        assert main(["lint", str(path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_missing_file_is_usage_error(self, capsys):
+        assert main(["lint", "/nonexistent/arch.py"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_lint_file_without_netlist_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.py"
+        path.write_text("x = 1\n")
+        assert main(["lint", str(path)]) == 2
+        assert "no build_netlist" in capsys.readouterr().err
+
+    def test_lint_builtin_deadlock_reports_rep310(self, capsys):
+        assert main(["lint", "--builtin", "deadlock"]) == 1
+        out = capsys.readouterr().out
+        assert "REP310" in out
+        assert "limitation 3" in out
+
+    def test_lint_builtin_broken_shows_config_overlap(self, capsys):
+        assert main(["lint", "--builtin", "broken"]) == 1
+        out = capsys.readouterr().out
+        assert "REP301" in out
+        assert "REP206" in out
+
+    def test_lint_self_check_default(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "reconfigurable" in out
+
+    def test_lint_json_output_parses(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "broken_arch.py"
+        path.write_text(self.BROKEN)
+        assert main(["lint", str(path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["errors"] >= 1
+        codes = {d["code"] for d in payload[0]["diagnostics"]}
+        assert "REP301" in codes
+
+    def test_lint_ignore_suppresses(self, capsys):
+        assert main(["lint", "--builtin", "deadlock", "--ignore", "REP310"]) == 0
+        capsys.readouterr()
+
+    def test_lint_select_restricts(self, capsys):
+        assert main(["lint", "--builtin", "broken", "--select", "REP2"]) == 0
+        out = capsys.readouterr().out
+        assert "REP301" not in out and "REP206" in out

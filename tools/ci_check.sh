@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally from the repo root:
+#
+#     bash tools/ci_check.sh
+#
+# Steps:
+#   1. tier-1 test suite
+#   2. kernel throughput smoke (>30% regression vs BENCH_kernel.json fails)
+#   3. ruff check (skipped with a notice when ruff is not installed)
+#   4. static model lint over every example architecture (must be clean)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== 1/4 tier-1 tests =="
+python -m pytest tests -q
+
+echo "== 2/4 kernel throughput check =="
+python tools/bench_kernel.py --check
+
+echo "== 3/4 ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests tools examples
+else
+    echo "ruff not installed; skipping (config lives in pyproject.toml)"
+fi
+
+echo "== 4/4 static model lint over examples/ =="
+python -m repro lint examples/*.py
+
+echo "ci_check: all gates passed"
