@@ -48,7 +48,16 @@ def attempt(label: str, **soc_kwargs) -> None:
     design = netlist.elaborate(sim)
     runner = JobRunner(info.accel_bases, info.buffer_words)
     design["cpu"].run_task(runner.task(jobs), name="workload")
-    sim.run()
+    # The deadlock of run 1 starves the event queue, so the run returns by
+    # itself; the wall-clock watchdog is belt-and-braces against livelocks
+    # (it stops the run and attaches sim.watchdog_report instead of hanging).
+    sim.run(max_wall_s=30.0)
+    if sim.watchdog_fired:
+        print(f"--- {label} ---")
+        print(sim.watchdog_report.render())
+        print(f"jobs completed before watchdog: {len(runner.results)}/{len(jobs)}")
+        print()
+        return
     report = diagnose(sim, buses=[design["system_bus"]])
     print(f"--- {label} ---")
     if report.deadlocked:

@@ -23,6 +23,9 @@ Package map
     Design-space exploration: sweeps, Pareto analysis, the ADRIATIC flow.
 ``repro.analysis``
     Metrics aggregation and deadlock diagnosis.
+``repro.faults``
+    Fault-injection campaigns and dependability metrics for the DRCF's
+    recovery policies (``repro.core.recovery``).
 
 Quickstart: see ``examples/quickstart.py`` and the README.
 """

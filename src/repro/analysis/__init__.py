@@ -1,6 +1,6 @@
 """Post-run analysis: metric aggregation, deadlock diagnosis, static lint."""
 
-from .deadlock import BlockedProcess, DeadlockReport, diagnose
+from .deadlock import BlockedProcess, DeadlockReport, diagnose, watchdog_report
 from .lint import (
     DEADLOCK_RULE_CODE,
     RULES,
@@ -33,4 +33,5 @@ __all__ = [
     "rule",
     "run_lint",
     "speedup",
+    "watchdog_report",
 ]

@@ -16,7 +16,7 @@ report — experiment E7 reproduces exactly the paper's condition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..bus import Bus
 from ..kernel import Simulator
@@ -42,9 +42,29 @@ class DeadlockReport:
     #: rendered in the report so a post-mortem points back at the check
     #: that would have caught the architecture without running anything.
     static_rule: str = DEADLOCK_RULE_CODE
+    #: True when the run was cut short by ``Simulator.run(max_wall_s=...)``
+    #: rather than ending by event starvation; ``wall_s`` is the budget
+    #: that expired.
+    watchdog: bool = False
+    wall_s: Optional[float] = None
 
     def render(self) -> str:
         """Human-readable report."""
+        if self.watchdog:
+            lines = [
+                f"WATCHDOG: run stopped after {self.wall_s:g}s wall-clock "
+                "without finishing (hang / livelock)"
+            ]
+            for item in self.blocked:
+                lines.append(f"  process {item.name} waiting on {item.waiting_on}")
+            for chain in self.chains:
+                lines.append(f"  wait-for: {chain}")
+            lines.append(
+                f"  note: static lint rule {self.static_rule} flags the "
+                "bus-deadlock architecture before simulation "
+                "(python -m repro lint)"
+            )
+            return "\n".join(lines)
         if not self.deadlocked:
             return "no deadlock: simulation completed without stuck processes"
         lines = ["DEADLOCK detected:"]
@@ -88,3 +108,22 @@ def diagnose(sim: Simulator, buses: Sequence[Bus] = ()) -> DeadlockReport:
                 )
     deadlocked = bool(blocked) and sim.pending_timed_count() == 0
     return DeadlockReport(deadlocked=deadlocked, blocked=blocked, chains=chains)
+
+
+def watchdog_report(sim: Simulator, wall_s: float) -> DeadlockReport:
+    """Post-mortem for a run tripped by the wall-clock watchdog.
+
+    Called by the kernel (lazily, so the kernel keeps working without the
+    analysis layer) when ``Simulator.run(max_wall_s=...)`` expires.  Unlike
+    :func:`diagnose` this runs on a *stopped*, not starved, simulation:
+    processes parked on timeouts are still listed because in a livelock the
+    timeouts are exactly what keeps the hang alive.
+    """
+    blocked = [
+        BlockedProcess(name=p.name, waiting_on=p.wait_description or "?")
+        for p in sim.blocked_processes()
+        if not p.daemon
+    ]
+    return DeadlockReport(
+        deadlocked=False, blocked=blocked, watchdog=True, wall_s=wall_s
+    )

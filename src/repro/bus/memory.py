@@ -48,7 +48,16 @@ class Memory(Module, BusSlaveIf):
         Additional cycles for each subsequent word of a burst.
     clock_freq_hz:
         Memory clock used to convert cycles to time.
+
+    A fault injector (:mod:`repro.faults`) may set :attr:`fault_hook`; the
+    hook's ``on_memory_read`` then filters every burst read's data (modeling
+    transient bus/storage errors).  The attribute is ``None`` by default and
+    the read path pays a single ``is None`` test for it — arming faults is
+    strictly opt-in and costs nothing when disarmed.
     """
+
+    #: Optional read-path fault filter (class default: disarmed).
+    fault_hook = None
 
     def __init__(
         self,
@@ -92,7 +101,11 @@ class Memory(Module, BusSlaveIf):
             self.latency_cycles + (count - 1) * self.cycles_per_word, self.clock_freq_hz
         )
         self.read_word_count += count
-        return [self._store.get(index + i, self.fill) for i in range(count)]
+        data = [self._store.get(index + i, self.fill) for i in range(count)]
+        hook = self.fault_hook
+        if hook is not None:
+            data = hook.on_memory_read(self, addr, count, data)
+        return data
 
     def write(self, addr: int, data: Union[int, Sequence[int]]):
         """Burst write (generator); returns True."""
@@ -153,6 +166,9 @@ class ConfigMemory(Memory):
         self._regions: Dict[str, Tuple[int, int]] = {}
         self._checksums: Dict[str, int] = {}
         self._transient_errors: Dict[str, int] = {}
+        #: Golden sparse image of each region at registration time, for
+        #: scrubbing repairs (word index -> word, only explicitly set words).
+        self._golden: Dict[str, Dict[int, int]] = {}
         self.injected_errors = 0
 
     def register_context_region(self, context_name: str, addr: int, size_bytes: int) -> None:
@@ -164,6 +180,15 @@ class ConfigMemory(Memory):
             )
         self._regions[context_name] = (addr, size_bytes)
         self._checksums[context_name] = self._compute_checksum(addr, size_bytes)
+        lo, hi = self._region_indices(addr, size_bytes)
+        self._golden[context_name] = {
+            i: w for i, w in self._store.items() if lo <= i < hi
+        }
+
+    def _region_indices(self, addr: int, size_bytes: int) -> Tuple[int, int]:
+        """Half-open word-index range of a byte region."""
+        lo = (addr - self.base) // self.word_bytes
+        return lo, lo + max(1, -(-size_bytes // self.word_bytes))
 
     def _compute_checksum(self, addr: int, size_bytes: int) -> int:
         words = max(1, -(-size_bytes // self.word_bytes))
@@ -194,6 +219,66 @@ class ConfigMemory(Memory):
         self._transient_errors[context_name] = (
             self._transient_errors.get(context_name, 0) + n_bursts
         )
+
+    def corrupt_region(self, context_name: str, bit_indices: Sequence[int]) -> None:
+        """Flip the given absolute bit positions inside a context region.
+
+        Models persistent configuration-memory upsets (SEUs in the bitstream
+        store): the corruption stays until :meth:`scrub_region` repairs it.
+        ``bit_indices`` are offsets from the region start; callers derive
+        them from a seeded RNG so injections are reproducible.
+        """
+        if context_name not in self._regions:
+            raise SimulationError(
+                f"{self.full_name}: unknown context region {context_name!r}"
+            )
+        if not bit_indices:
+            raise ValueError("need at least one bit to flip")
+        addr, size_bytes = self._regions[context_name]
+        lo, hi = self._region_indices(addr, size_bytes)
+        word_bits = self.word_bytes * 8
+        for bit in bit_indices:
+            if bit < 0 or bit >= (hi - lo) * word_bits:
+                raise ValueError(
+                    f"bit offset {bit} outside region {context_name!r} "
+                    f"({(hi - lo) * word_bits} bits)"
+                )
+            index = lo + bit // word_bits
+            self._store[index] = self._store.get(index, self.fill) ^ (
+                1 << (bit % word_bits)
+            )
+            self.injected_errors += 1
+
+    def scrub_region(self, context_name: str) -> bool:
+        """Restore a region to its golden (registration-time) image.
+
+        Returns True if any word actually changed — the signal a scrubbing
+        pass uses to count repairs.  The restore itself is zero-time (the
+        scrubber pays for detection with real bus reads; the repair write-
+        back is modeled as instantaneous ECC correction).
+        """
+        if context_name not in self._regions:
+            raise SimulationError(
+                f"{self.full_name}: unknown context region {context_name!r}"
+            )
+        addr, size_bytes = self._regions[context_name]
+        lo, hi = self._region_indices(addr, size_bytes)
+        golden = self._golden[context_name]
+        repaired = False
+        for index in [i for i in self._store if lo <= i < hi]:
+            if index not in golden:
+                del self._store[index]
+                repaired = True
+        for index, word in golden.items():
+            if self._store.get(index) != word:
+                self._store[index] = word
+                repaired = True
+        return repaired
+
+    def region_is_clean(self, context_name: str) -> bool:
+        """Does the region's current content match its registered checksum?"""
+        addr, size_bytes = self._regions[context_name]
+        return self._compute_checksum(addr, size_bytes) == self._checksums[context_name]
 
     def read(self, addr: int, count: int = 1):
         data = yield from super().read(addr, count)

@@ -10,6 +10,7 @@ Drives the reproduction's main entry points without writing Python::
     python -m repro deadlock
     python -m repro lint examples/*.py
     python -m repro lint --builtin broken --json
+    python -m repro inject --builtin modem --trials 64 --seed 7 --json
 
 Every command prints the same tables the experiment benches regenerate.
 """
@@ -128,6 +129,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-elaborate",
         action="store_true",
         help="pre-elaboration rules only (skip design/DRCF layers)",
+    )
+
+    inject = sub.add_parser(
+        "inject",
+        help="run a seeded fault-injection campaign (see docs/FAULTS.md)",
+    )
+    inject.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help=(
+            "Python file whose build_netlist() returns (netlist, SocInfo) "
+            "with a DRCF; omit and use --builtin for a shipped scenario"
+        ),
+    )
+    inject.add_argument(
+        "--builtin",
+        choices=("minimal", "modem", "wireless"),
+        default=None,
+        help="run a built-in campaign scenario instead of a file",
+    )
+    inject.add_argument("--trials", type=int, default=16)
+    inject.add_argument("--seed", type=int, default=7)
+    inject.add_argument(
+        "--recovery",
+        choices=("none", "verify", "retry", "full"),
+        default="retry",
+        help="DRCF recovery policy preset under test",
+    )
+    inject.add_argument(
+        "--workers", type=int, default=1, help="multiprocessing trial workers"
+    )
+    inject.add_argument("--json", action="store_true", help="machine-readable output")
+    inject.add_argument(
+        "--check",
+        action="store_true",
+        help="run the campaign twice and fail unless the JSON reports are identical",
     )
 
     experiments = sub.add_parser(
@@ -282,6 +320,49 @@ def cmd_experiments(args) -> int:
     if os.path.isdir(results):
         print(f"\nregenerated tables archived under {results}/")
     return code
+
+
+def cmd_inject(args) -> int:
+    from .faults import SCENARIOS, run_campaign, scenario_from_file
+
+    if (args.model is None) == (args.builtin is None):
+        print("error: pass exactly one of <model> or --builtin", file=sys.stderr)
+        return 2
+    if args.trials < 1:
+        print("error: --trials must be positive", file=sys.stderr)
+        return 2
+    if args.builtin:
+        scenario = SCENARIOS[args.builtin]
+    else:
+        try:
+            scenario = scenario_from_file(args.model)
+        except Exception as exc:
+            print(f"error: cannot load {args.model}: {exc}", file=sys.stderr)
+            return 2
+
+    def campaign():
+        return run_campaign(
+            scenario,
+            trials=args.trials,
+            seed=args.seed,
+            recovery=args.recovery,
+            workers=max(1, args.workers),
+        )
+
+    report = campaign()
+    if args.check:
+        again = campaign()
+        if report.to_json() != again.to_json():
+            print("REPRODUCIBILITY FAILURE: two identical campaigns "
+                  "produced different reports", file=sys.stderr)
+            return 1
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+        if args.check:
+            print("\nreproducibility check: OK (two runs, identical JSON)")
+    return 0
 
 
 def cmd_deadlock(args) -> int:
@@ -466,6 +547,7 @@ _COMMANDS = {
     "flow": cmd_flow,
     "transform": cmd_transform,
     "deadlock": cmd_deadlock,
+    "inject": cmd_inject,
     "lint": cmd_lint,
     "experiments": cmd_experiments,
 }

@@ -38,6 +38,15 @@ from .policies import (
     make_policy,
 )
 from .power import EnergyBreakdown, PowerModel
+from .recovery import (
+    FULL_RECOVERY,
+    NO_RECOVERY,
+    RECOVERY_PRESETS,
+    RETRY_BACKOFF,
+    VERIFY_ONLY,
+    RecoveryPolicy,
+    recovery_preset,
+)
 from .prefetch import (
     ContextPrefetcher,
     MarkovPredictor,
@@ -75,6 +84,13 @@ __all__ = [
     "EnergyBreakdown",
     "FifoPolicy",
     "FixedSlotManager",
+    "FULL_RECOVERY",
+    "NO_RECOVERY",
+    "RECOVERY_PRESETS",
+    "RETRY_BACKOFF",
+    "RecoveryPolicy",
+    "VERIFY_ONLY",
+    "recovery_preset",
     "InstanceAnalysis",
     "LruPolicy",
     "MarkovPredictor",

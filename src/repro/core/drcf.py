@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from ..bus import BusMasterIf, BusSlaveIf
 from ..bus.memory import region_checksum
-from ..kernel import Event, Module, Mutex, Port, Signal, SimulationError
+from ..kernel import Event, Module, Mutex, Port, Signal, SimulationError, ZERO_TIME
 from .context import Context
 from .policies import (
     AreaSlotManager,
@@ -37,11 +37,16 @@ from .policies import (
     ReplacementPolicy,
     SlotManager,
 )
+from .recovery import RecoveryPolicy
 from .scheduler import ContextScheduler
 from .stats import DrcfStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..tech import ReconfigTechnology
+
+#: The bit a corrupted configuration image flips in burst-read data (the
+#: silent-data-corruption signature; deterministic so campaigns reproduce).
+_SDC_BIT = 0x0002_0000
 
 
 class Drcf(Module, BusSlaveIf):
@@ -92,6 +97,7 @@ class Drcf(Module, BusSlaveIf):
         config_cache_bytes: Optional[int] = None,
         verify_config: bool = False,
         max_fetch_retries: int = 2,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         super().__init__(name, parent=parent, sim=sim)
         # The master port exists before context builders run so wrapped
@@ -114,9 +120,23 @@ class Drcf(Module, BusSlaveIf):
         self.word_bytes = word_bytes
         # Integrity modeling: checksum every fetched bitstream against the
         # context's expected value (fine-grain devices CRC each frame) and
-        # refetch on mismatch, up to max_fetch_retries extra attempts.
-        self.verify_config = verify_config
-        self.max_fetch_retries = max_fetch_retries
+        # refetch on mismatch, up to max_fetch_retries extra attempts.  The
+        # legacy verify_config/max_fetch_retries pair is subsumed by the
+        # richer RecoveryPolicy (backoff, scrubbing, timeout, fallback).
+        if recovery is None:
+            recovery = RecoveryPolicy(verify=verify_config, max_retries=max_fetch_retries)
+        self.recovery = recovery
+        #: Fault injector hook surface (repro.faults); None = disarmed, and
+        #: the fetch path pays one ``is None`` test for it.
+        self.fault_hook = None
+        #: The configuration memory instance, when known (set by the
+        #: transformation's post-elaboration hook); required for scrubbing
+        #: repairs and for the fault models that corrupt stored bitstreams.
+        self.config_memory = None
+        #: Contexts whose *loaded* fabric image is known corrupted (the
+        #: model-level ground truth behind silent-data-corruption outcomes).
+        self._loaded_corrupted: dict = {}
+        self._scrubber_started = False
         self.stats = DrcfStats([c.name for c in contexts])
         # Optional on-chip bitstream cache (Chapter 2's "memories storing
         # configurations" trade-off; see repro.core.cache).
@@ -158,6 +178,67 @@ class Drcf(Module, BusSlaveIf):
         for context in self.contexts:
             if hasattr(context.module, "compute_sink"):
                 context.module.compute_sink = self._make_compute_sink(context.name)
+        self._maybe_start_scrubber()
+
+    # -- recovery policy -----------------------------------------------------------
+    @property
+    def verify_config(self) -> bool:
+        """Back-compat mirror of :attr:`recovery`.verify."""
+        return self.recovery.verify
+
+    @property
+    def max_fetch_retries(self) -> int:
+        """Back-compat mirror of :attr:`recovery`.max_retries."""
+        return self.recovery.max_retries
+
+    def set_recovery(self, recovery: RecoveryPolicy) -> None:
+        """Select a recovery policy (campaigns call this post-elaboration)."""
+        self.recovery = recovery
+        self._maybe_start_scrubber()
+
+    def _maybe_start_scrubber(self) -> None:
+        if self.recovery.scrub_interval is None or self._scrubber_started:
+            return
+        self._scrubber_started = True
+        self.sim.spawn(f"{self.full_name}.scrubber", self._scrub_loop, daemon=True)
+
+    def _scrub_loop(self):
+        """Background configuration scrubbing (recovery policy).
+
+        Periodically reads every context region back over the memory bus
+        (real, tagged traffic — the cost of scrubbing is visible) and
+        repairs regions whose content no longer matches the registered
+        golden checksum.  Repair requires the transformation to have set
+        :attr:`config_memory`; without it, scrubbing only detects.
+        """
+        while True:
+            interval = self.recovery.scrub_interval
+            if interval is None:
+                return
+            yield interval
+            self.stats.record_scrub()
+            for context in self.contexts:
+                expected = context.params.checksum
+                if expected is None:
+                    continue
+                words = context.params.config_words(self.word_bytes)
+                start = self.sim.now
+                data = yield from self.mst_port.read(
+                    context.params.config_addr,
+                    min(words, self.config_burst_words),
+                    master=self.full_name,
+                    tags=["scrub", context.name],
+                )
+                del data  # sampling read: integrity is checked via the memory
+                memory = self.config_memory
+                if memory is None or not hasattr(memory, "region_is_clean"):
+                    continue
+                if not memory.region_is_clean(context.name):
+                    if memory.scrub_region(context.name):
+                        self.stats.record_scrub_repair(context.name)
+                        self.stats.record_recovery_time(
+                            context.name, self.sim.now - start
+                        )
 
     def _make_compute_sink(self, context_name: str):
         def sink(start, end):
@@ -228,6 +309,19 @@ class Drcf(Module, BusSlaveIf):
             start = self.sim.now
             if kind == "read":
                 result = yield from context.module.read(addr, count)
+                if (
+                    self._loaded_corrupted
+                    and count is not None
+                    and count > 1
+                    and self._loaded_corrupted.get(context.name)
+                ):
+                    # A context running from a corrupted configuration image
+                    # computes wrong results: burst (data) reads come back
+                    # with a deterministic bit flipped, while single-word
+                    # register reads (status polls) stay intact so the
+                    # protocol itself keeps working — silent data corruption.
+                    result = list(result)
+                    result[0] ^= _SDC_BIT
             else:
                 result = yield from context.module.write(addr, data)
             self.stats.record_active(context.name, start, self.sim.now)
@@ -242,20 +336,65 @@ class Drcf(Module, BusSlaveIf):
         Returns the number of words actually fetched over the bus (0 when
         the on-chip bitstream cache hit; the configuration-port programming
         time still applies, charged by the scheduler).
+
+        This is where the recovery policy acts: verification, bounded retry
+        with backoff, the fetch timeout against wedged transfers, and the
+        degraded-mode fallback when retries run out.  A fault injector may
+        perturb the path through :attr:`fault_hook` (stuck transfers,
+        truncated bitstreams); with no hook armed and verification off the
+        path is exactly the plain burst loop.
         """
         size_bytes = n_words * self.word_bytes
         if self.config_cache is not None and self.config_cache.lookup(context_name):
             yield self.config_cache.refill_time(size_bytes)
             return 0
+        recovery = self.recovery
+        hook = self.fault_hook
         expected = (
             self._context_by_name(context_name).params.checksum
-            if self.verify_config
+            if recovery.verify
+            else None
+        )
+        # Model-level ground truth for silent-corruption tracking; only
+        # worth computing when it can differ from a clean load.
+        truth = (
+            self._context_by_name(context_name).params.checksum
+            if (hook is not None or recovery.verify)
             else None
         )
         attempts = 0
         total_fetched = 0
+        recovery_start = None
+        corrupted = False
         while True:
-            bitstream: List[int] = []
+            if hook is not None:
+                stuck = hook.fetch_delay(self.full_name, context_name)
+                if stuck is not None:
+                    timeout = recovery.fetch_timeout
+                    if timeout is not None and timeout < stuck:
+                        # The configuration-port watchdog aborts the wedged
+                        # transfer; the attempt is charged and retried.
+                        yield timeout
+                        self.stats.record_fetch_timeout(context_name)
+                        if recovery_start is None:
+                            recovery_start = self.sim.now
+                        attempts += 1
+                        if attempts > recovery.max_retries:
+                            corrupted = True
+                            bitstream: List[int] = []
+                            if recovery.fallback_to_resident:
+                                self.stats.record_fallback(context_name)
+                                break
+                            raise SimulationError(
+                                f"{self.full_name}: configuration transfer for "
+                                f"context {context_name!r} timed out {attempts} "
+                                "times (stuck configuration port?)"
+                            )
+                        continue
+                    # No timeout armed (or it is longer than the wedge):
+                    # the transfer simply stalls for the fault's duration.
+                    yield stuck
+            bitstream = []
             remaining = n_words
             addr = config_addr
             while remaining > 0:
@@ -270,19 +409,45 @@ class Drcf(Module, BusSlaveIf):
                 addr += chunk * self.word_bytes
                 remaining -= chunk
             total_fetched += n_words
-            if expected is None:
+            if hook is not None:
+                bitstream = hook.filter_bitstream(
+                    self.full_name, context_name, bitstream
+                )
+            if truth is None:
                 break
-            if region_checksum(bitstream) == expected:
+            actual = region_checksum(bitstream)
+            if expected is None:
+                # Verification off: a bad load goes unnoticed by the
+                # modeled hardware, but the model remembers the truth.
+                corrupted = actual != truth
+                break
+            if actual == expected:
+                corrupted = False
                 break
             attempts += 1
             self.stats.record_config_retry(context_name)
-            if attempts > self.max_fetch_retries:
+            if recovery_start is None:
+                recovery_start = self.sim.now
+            if attempts > recovery.max_retries:
+                if recovery.fallback_to_resident:
+                    self.stats.record_fallback(context_name)
+                    corrupted = True
+                    break
                 raise SimulationError(
                     f"{self.full_name}: bitstream of context {context_name!r} "
                     f"failed its checksum {attempts} times (persistent "
                     "configuration-memory corruption?)"
                 )
-        if self.config_cache is not None:
+            backoff = recovery.backoff_delay(attempts)
+            if backoff > ZERO_TIME:
+                yield backoff
+        if recovery_start is not None:
+            self.stats.record_recovery_time(
+                context_name, self.sim.now - recovery_start
+            )
+        if truth is not None:
+            self._loaded_corrupted[context_name] = corrupted
+        if self.config_cache is not None and not corrupted:
             self.config_cache.insert(context_name, size_bytes)
         return total_fetched
 
@@ -308,6 +473,14 @@ class Drcf(Module, BusSlaveIf):
 
     def resident_context_names(self) -> List[str]:
         return self.scheduler.resident_context_names()
+
+    def loaded_corrupted(self, context_name: str) -> bool:
+        """Model-level truth: is the context's loaded image corrupted?
+
+        Only meaningful when verification or a fault hook tracked the load;
+        contexts never fetched (or tracked) report False.
+        """
+        return bool(self._loaded_corrupted.get(context_name, False))
 
     def largest_context_gates(self) -> int:
         """Resource requirement of the largest context (Section 5.5 issue 2)."""

@@ -77,12 +77,18 @@ class FifoPolicy(ReplacementPolicy):
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Evict a pseudo-random context (seeded, reproducible)."""
+    """Evict a pseudo-random context (seeded, reproducible).
+
+    Pass ``rng`` to share one seeded :class:`random.Random` across the
+    whole experiment (fault campaigns and DSE runs do, so a single seed
+    reproduces the run end to end); otherwise a private generator is
+    built from ``seed``.
+    """
 
     name = "random"
 
-    def __init__(self, seed: int = 1) -> None:
-        self._rng = random.Random(seed)
+    def __init__(self, seed: int = 1, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random(seed)
 
     def choose_victim(self, candidates: Sequence[Slot]) -> Slot:
         return candidates[self._rng.randrange(len(candidates))]

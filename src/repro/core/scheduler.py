@@ -99,6 +99,11 @@ class ContextScheduler:
         #: Callbacks ``listener(context_name)`` run on each foreground
         #: switch (e.g. the DRCF's traceable active-context signal).
         self.switch_listeners: List[Callable[[str], None]] = []
+        #: Fault-injector hook surface (repro.faults): when set, its
+        #: ``on_switch_begin(scheduler_name, context_name, now)`` is called
+        #: as each foreground switch starts, so armed faults can key off the
+        #: context schedule.  ``None`` (the default) costs one test.
+        self.fault_hook = None
         sim.spawn(f"{name}.arb_and_instr", self._arb_and_instr, daemon=True)
 
     # -- public API (called from DRCF interface methods) ----------------------
@@ -173,6 +178,8 @@ class ContextScheduler:
         # wait for the outgoing module to go idle (busy/idle_event protocol,
         # honoured by the accelerator models).
         yield from self._drain_active()
+        if self.fault_hook is not None:
+            self.fault_hook.on_switch_begin(self.name, context.name, self.sim.now)
         start = self.sim.now
         slot = self.slots.slot_of(context)
         fetched = False

@@ -37,6 +37,15 @@ class ContextStats:
     fetch_retries: int = 0
     #: Total suspension time interface calls spent waiting for switches.
     call_wait_time: SimTime = ZERO_TIME
+    #: Scrub passes that repaired this context's configuration region.
+    scrub_repairs: int = 0
+    #: Loads accepted in degraded mode after retries were exhausted.
+    fallbacks: int = 0
+    #: Wedged configuration transfers aborted by the fetch timeout.
+    fetch_timeouts: int = 0
+    #: Simulated time spent recovering failed loads (backoff, timeouts,
+    #: refetch transfers) — the recovery overhead of this context.
+    recovery_time: SimTime = ZERO_TIME
 
 
 class DrcfStats:
@@ -58,6 +67,14 @@ class DrcfStats:
         self.background_loads = 0
         #: Whole-bitstream refetches caused by checksum failures.
         self.config_retries = 0
+        #: Background scrub sweeps performed (recovery policy).
+        self.scrubs = 0
+        #: Scrub sweeps that found and repaired corrupted configuration memory.
+        self.scrub_repairs = 0
+        #: Loads accepted in degraded mode after retries were exhausted.
+        self.fallbacks = 0
+        #: Wedged configuration transfers aborted by the fetch timeout.
+        self.fetch_timeouts = 0
         self._start_time: Optional[SimTime] = None
         self._end_time: Optional[SimTime] = None
 
@@ -134,6 +151,45 @@ class DrcfStats:
     def record_prefetch_hit(self) -> None:
         self.prefetch_hits += 1
 
+    # -- recovery instrumentation (see repro.core.recovery) --------------------
+    def record_scrub(self) -> None:
+        """One background scrub sweep over the context regions."""
+        self.scrubs += 1
+
+    def record_scrub_repair(self, name: str) -> None:
+        """A scrub sweep repaired ``name``'s configuration region."""
+        self.per_context[name].scrub_repairs += 1
+        self.scrub_repairs += 1
+
+    def record_fallback(self, name: str) -> None:
+        """Retries exhausted: the corrupted load was accepted degraded."""
+        self.per_context[name].fallbacks += 1
+        self.fallbacks += 1
+
+    def record_fetch_timeout(self, name: str) -> None:
+        """A wedged configuration transfer was aborted by the timeout."""
+        self.per_context[name].fetch_timeouts += 1
+        self.fetch_timeouts += 1
+
+    def record_recovery_time(self, name: str, duration: SimTime) -> None:
+        """Simulated time spent recovering a failed load of ``name``."""
+        cs = self.per_context[name]
+        cs.recovery_time = cs.recovery_time + duration
+
+    @property
+    def recovery_actions(self) -> int:
+        """Total recovery interventions (retries, repairs, timeouts, fallbacks).
+
+        The campaign engine classifies a fault as *recovered* (rather than
+        masked) when the run completed correctly and this is non-zero.
+        """
+        return (
+            self.config_retries
+            + self.scrub_repairs
+            + self.fallbacks
+            + self.fetch_timeouts
+        )
+
     # -- aggregates ------------------------------------------------------------
     @property
     def total_active_time(self) -> SimTime:
@@ -156,6 +212,13 @@ class DrcfStats:
     @property
     def total_calls(self) -> int:
         return sum(cs.calls for cs in self.per_context.values())
+
+    @property
+    def total_recovery_time(self) -> SimTime:
+        total = ZERO_TIME
+        for cs in self.per_context.values():
+            total = total + cs.recovery_time
+        return total
 
     def observation_window(self) -> SimTime:
         if self._start_time is None or self._end_time is None:
@@ -180,6 +243,11 @@ class DrcfStats:
             "prefetch_hits": self.prefetch_hits,
             "background_loads": self.background_loads,
             "config_retries": self.config_retries,
+            "scrubs": self.scrubs,
+            "scrub_repairs": self.scrub_repairs,
+            "fallbacks": self.fallbacks,
+            "fetch_timeouts": self.fetch_timeouts,
+            "recovery_time_ns": self.total_recovery_time.to_ns(),
             "active_time_ns": self.total_active_time.to_ns(),
             "reconfig_time_ns": self.total_reconfig_time.to_ns(),
             "config_words": self.total_config_words,
@@ -193,6 +261,10 @@ class DrcfStats:
                     "reconfig_time_ns": cs.reconfig_time.to_ns(),
                     "config_words": cs.config_words,
                     "call_wait_time_ns": cs.call_wait_time.to_ns(),
+                    "scrub_repairs": cs.scrub_repairs,
+                    "fallbacks": cs.fallbacks,
+                    "fetch_timeouts": cs.fetch_timeouts,
+                    "recovery_time_ns": cs.recovery_time.to_ns(),
                 }
                 for name, cs in self.per_context.items()
             },

@@ -265,6 +265,10 @@ def transform_to_drcf(
 
     def register_regions(drcf_instance, design: ElaboratedDesign) -> None:
         memory = design[config_memory]
+        # The DRCF keeps a handle to its configuration memory so the
+        # scrubbing recovery policy can repair corrupted regions and fault
+        # models can target the stored bitstreams (repro.faults).
+        drcf_instance.config_memory = memory
         if hasattr(memory, "register_context_region"):
             for alloc in report.allocations:
                 memory.register_context_region(

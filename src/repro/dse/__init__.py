@@ -6,7 +6,12 @@ reports (:mod:`report`), the Section 5.1 partitioning rules
 (:mod:`partition`) and the full ADRIATIC flow of Figure 3 (:mod:`flow`).
 """
 
-from .evaluators import DEFAULT_ACCELS, evaluate_architecture, make_jobs
+from .evaluators import (
+    DEFAULT_ACCELS,
+    evaluate_architecture,
+    evaluate_robustness,
+    make_jobs,
+)
 from .explorer import DsePoint, Explorer, best_point
 from .flow import AdriaticFlow, FlowResult, StageRun
 from .pareto import Objective, crossover_point, dominates, pareto_front
@@ -40,6 +45,7 @@ __all__ = [
     "crossover_point",
     "dominates",
     "evaluate_architecture",
+    "evaluate_robustness",
     "format_points",
     "format_table",
     "make_jobs",

@@ -81,10 +81,15 @@ def evaluate_architecture(params: Dict[str, object], *, verify: bool = True) -> 
     else:
         tech = preset(tech_name)
         policy_name = params.get("policy")
+        # The random policy draws from a seeded generator; feeding it the
+        # design point's seed keeps the whole evaluation reproducible.
+        policy_kwargs = (
+            {"seed": int(params.get("seed", 42))} if policy_name == "random" else {}
+        )
         netlist, info = make_reconfigurable_netlist(
             accels,
             tech=tech,
-            policy=make_policy(str(policy_name)) if policy_name else None,
+            policy=make_policy(str(policy_name), **policy_kwargs) if policy_name else None,
             use_area_slots=bool(params.get("use_area_slots", False)),
             fabric_capacity_gates=params.get("fabric_capacity_gates"),
             config_burst_words=int(params.get("config_burst_words", 64)),
@@ -192,4 +197,57 @@ def evaluate_architecture(params: Dict[str, object], *, verify: bool = True) -> 
         metrics["energy_mj"] = energy.total_j * 1e3
         if prefetcher is not None:
             metrics["prefetch_requests"] = prefetcher.requests_issued
+    return metrics
+
+
+def evaluate_robustness(params: Dict[str, object]) -> Dict[str, object]:
+    """Throughput *and* dependability of one design point.
+
+    Runs :func:`evaluate_architecture` for the performance metrics, then a
+    seeded fault campaign (:mod:`repro.faults`) under the design point's
+    ``recovery`` preset, and merges both metric sets — the row feeding the
+    throughput-vs-coverage Pareto front (faster recovery policies cost
+    makespan; none at all costs coverage).
+
+    Extra recognized parameters: ``recovery`` (preset name, default
+    ``"retry"``), ``fault_trials`` (default 8), ``fault_seed`` (defaults
+    to ``seed``), ``fault_workers`` (default 1).  ``tech`` must be a
+    reconfigurable preset — a dedicated-logic design point has no
+    configuration path to attack.
+    """
+    from ..faults import CampaignScenario, run_campaign
+
+    tech_name = str(params.get("tech", "virtex2pro"))
+    if tech_name == "asic":
+        raise KeyError("evaluate_robustness needs a reconfigurable tech preset")
+    metrics = evaluate_architecture(params)
+    seed = int(params.get("seed", 42))
+    scenario = CampaignScenario(
+        name=f"dse-{tech_name}",
+        accels=tuple(params.get("accels", DEFAULT_ACCELS)),
+        tech=tech_name,
+        n_frames=int(params.get("n_frames", 2)),
+        workload=str(params.get("workload", "interleaved")),
+        workload_seed=seed,
+        bus_protocol=str(params.get("bus_protocol", "split")),
+    )
+    report = run_campaign(
+        scenario,
+        trials=int(params.get("fault_trials", 8)),
+        seed=int(params.get("fault_seed", seed)),
+        recovery=str(params.get("recovery", "retry")),
+        workers=int(params.get("fault_workers", 1)),
+    )
+    metrics.update(
+        recovery=report.recovery,
+        fault_trials=report.trials,
+        fault_coverage=report.coverage if report.coverage is not None else 1.0,
+        sdc_rate=report.counts["sdc"] / report.trials,
+        hang_rate=report.counts["hang"] / report.trials,
+        masked_rate=report.counts["masked"] / report.trials,
+        mttr_us=(report.mttr_ns / 1e3) if report.mttr_ns is not None else 0.0,
+        recovery_overhead=report.recovery_overhead
+        if report.recovery_overhead is not None
+        else 0.0,
+    )
     return metrics

@@ -1,0 +1,100 @@
+"""Fault models for the configuration path.
+
+Each :class:`FaultSpec` names one fault to inject: a *kind*, the *target*
+context, the simulated *time* it arms, and kind-specific parameters.  The
+spec is a frozen dataclass of primitives, so campaign payloads pickle
+cleanly across ``multiprocessing`` workers and serialize into reports.
+
+The four kinds model the classic configuration-path upsets:
+
+``bitflip``
+    Configuration-memory upset (SEU in the bitstream store): at ``at_ns``
+    the target context's stored region gets ``n_bits`` seeded-random bits
+    flipped.  Persistent until a scrubbing pass repairs it — retry alone
+    refetches the same corrupted words.
+``truncate``
+    Interrupted configuration transfer: the first fetch of the target at
+    or after ``at_ns`` loses its tail — the last ``drop_fraction`` of the
+    bitstream words arrive as garbage (an aborted burst leaves whatever
+    the port latched).  Transient: a refetch sees clean data.
+``bus_transient``
+    Transient read error on the configuration bus: the next ``n_bursts``
+    burst reads touching the target's region (at or after ``at_ns``)
+    return one flipped bit each.  Transient by construction.
+``stuck``
+    Wedged configuration port: the first fetch of the target at or after
+    ``at_ns`` stalls for ``stall_us`` before any data moves.  Without a
+    fetch timeout the fabric just waits it out; with one, the transfer is
+    aborted and retried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The recognized fault kinds, in canonical grid order.
+FAULT_KINDS = ("bitflip", "truncate", "bus_transient", "stuck")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject (picklable primitives only)."""
+
+    #: One of :data:`FAULT_KINDS`.
+    kind: str
+    #: Target context name (an accelerator folded into the DRCF).
+    target: str
+    #: Simulated time (ns) at which the fault arms.
+    at_ns: float
+    #: ``bitflip``: number of bits flipped in the stored region.
+    n_bits: int = 1
+    #: ``truncate``: fraction of the bitstream tail replaced by garbage.
+    drop_fraction: float = 0.5
+    #: ``bus_transient``: number of corrupted burst reads.
+    n_bursts: int = 1
+    #: ``stuck``: stall duration in microseconds.
+    stall_us: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {list(FAULT_KINDS)}"
+            )
+        if not self.target:
+            raise ValueError("fault needs a target context name")
+        if self.at_ns < 0:
+            raise ValueError("injection time must be non-negative")
+        if self.n_bits < 1:
+            raise ValueError("bitflip needs at least one bit")
+        if not 0.0 < self.drop_fraction <= 1.0:
+            raise ValueError("drop_fraction must be in (0, 1]")
+        if self.n_bursts < 1:
+            raise ValueError("bus_transient needs at least one burst")
+        if self.stall_us <= 0:
+            raise ValueError("stall_us must be positive")
+
+    def to_dict(self) -> dict:
+        """Primitive dictionary (campaign payloads and JSON reports)."""
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "at_ns": self.at_ns,
+            "n_bits": self.n_bits,
+            "drop_fraction": self.drop_fraction,
+            "n_bursts": self.n_bursts,
+            "stall_us": self.stall_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Short human-readable form for logs and tables."""
+        extra = {
+            "bitflip": f"{self.n_bits} bit(s)",
+            "truncate": f"drop {self.drop_fraction:.0%}",
+            "bus_transient": f"{self.n_bursts} burst(s)",
+            "stuck": f"stall {self.stall_us:g}us",
+        }[self.kind]
+        return f"{self.kind}@{self.target} t={self.at_ns:g}ns ({extra})"

@@ -1,0 +1,133 @@
+"""Built-in campaign scenarios and file-based scenario loading.
+
+A :class:`CampaignScenario` pins down everything a trial worker needs to
+rebuild the system under test from scratch — accelerator set, technology,
+workload shape and seed — as primitives, so the scenario travels inside a
+``multiprocessing`` payload.  The built-ins mirror the paper's motivating
+applications (wireless baseband frames over a reconfigurable fabric).
+
+A scenario can instead point at a Python file defining ``build_netlist()``
+returning ``(netlist, SocInfo)`` (the convention all shipped examples
+follow); each worker then re-imports the file and elaborates a private
+copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CampaignScenario:
+    """The system under test of a fault campaign (picklable primitives)."""
+
+    name: str
+    #: Accelerators folded into the DRCF (the fault targets).
+    accels: Tuple[str, ...]
+    #: Technology preset name (``repro.tech.PRESETS``).
+    tech: str = "virtex2pro"
+    n_frames: int = 1
+    workload: str = "interleaved"
+    workload_seed: int = 42
+    bus_protocol: str = "split"
+    #: When set, trial workers import this file's ``build_netlist()``
+    #: instead of the SoC template (``accels``/``tech`` then only label
+    #: the report and enumerate fault targets).
+    netlist_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "accels": list(self.accels),
+            "tech": self.tech,
+            "n_frames": self.n_frames,
+            "workload": self.workload,
+            "workload_seed": self.workload_seed,
+            "bus_protocol": self.bus_protocol,
+            "netlist_path": self.netlist_path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignScenario":
+        data = dict(data)
+        data["accels"] = tuple(data["accels"])
+        return cls(**data)
+
+
+#: Built-in scenarios reachable from ``python -m repro inject --builtin``.
+SCENARIOS = {
+    # Smallest meaningful system: two contexts fighting over one slot.
+    "minimal": CampaignScenario(
+        name="minimal", accels=("fir", "fft"), tech="virtex2pro", n_frames=1
+    ),
+    # The paper's software-radio motivation: a modem frame touching four
+    # blocks per frame on a single-context device (one switch per job).
+    "modem": CampaignScenario(
+        name="modem",
+        accels=("fir", "fft", "viterbi", "xtea"),
+        tech="virtex2pro",
+        n_frames=1,
+    ),
+    # Multi-context device over two frames: resident contexts survive
+    # between frames, so faults race against fewer refetches.
+    "wireless": CampaignScenario(
+        name="wireless",
+        accels=("fir", "fft", "viterbi", "xtea"),
+        tech="morphosys",
+        n_frames=2,
+    ),
+}
+
+
+def scenario_from_file(path: str) -> CampaignScenario:
+    """Build a scenario around a file defining ``build_netlist()``.
+
+    The file is imported once here to discover the DRCF's contexts (the
+    fault targets); trial workers re-import it themselves.
+    """
+    netlist, info = _load_netlist(path)
+    if info is None or info.drcf_name is None:
+        raise ValueError(
+            f"{path}: build_netlist() must return (netlist, SocInfo) with a "
+            "DRCF (use make_reconfigurable_netlist)"
+        )
+    report = info.transform_report
+    if report is not None:
+        targets = tuple(alloc.name for alloc in report.allocations)
+    else:
+        targets = tuple(info.accel_bases)
+    return CampaignScenario(
+        name=path,
+        accels=targets,
+        tech="file",
+        netlist_path=path,
+    )
+
+
+def _load_netlist(path: str):
+    """Import ``path`` and return its ``build_netlist()`` result.
+
+    Returns ``(netlist, info)``; ``info`` is None when the builder returns
+    a bare netlist.  The module is loaded under a private name so the
+    file's ``__main__`` guard keeps its own simulation from running.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_inject_target_{abs(hash(path)) & 0xFFFF}", path
+    )
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot import {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    build = getattr(module, "build_netlist", None)
+    if not callable(build):
+        raise ValueError(f"{path}: no build_netlist() defined")
+    result = build()
+    if isinstance(result, tuple):
+        netlist = result[0]
+        info = result[1] if len(result) > 1 else None
+    else:
+        netlist, info = result, None
+    return netlist, info

@@ -31,6 +31,7 @@ activity (e.g. everything happening at t=0) is traced too.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
@@ -109,6 +110,12 @@ class Simulator:
         #: Called with the current time once per finished instant (after the
         #: last delta cycle at that timestamp, before time advances).
         self.trace_hooks: List[Callable[[SimTime], None]] = []
+        #: True when the last run was stopped by the wall-clock watchdog.
+        self.watchdog_fired = False
+        #: Post-mortem attached by the watchdog (an
+        #: :class:`~repro.analysis.deadlock.DeadlockReport` when the
+        #: analysis layer is importable, else None).
+        self.watchdog_report = None
 
     # -- time --------------------------------------------------------------
     @property
@@ -227,6 +234,7 @@ class Simulator:
         *,
         max_deltas_per_instant: int = 100_000,
         error_on_deadlock: bool = False,
+        max_wall_s: Optional[float] = None,
     ) -> SimTime:
         """Run the simulation.
 
@@ -241,6 +249,14 @@ class Simulator:
         error_on_deadlock:
             If true and the run ends by starvation while thread processes
             are still blocked, raise :class:`DeadlockError`.
+        max_wall_s:
+            Wall-clock watchdog: stop the run (instead of hanging forever)
+            once this many real seconds have elapsed, setting
+            :attr:`watchdog_fired` and attaching a post-mortem to
+            :attr:`watchdog_report`.  Livelocks the simulated-time bound
+            cannot catch — unbounded polling loops, runaway traffic
+            generators — terminate cleanly this way.  ``None`` (the
+            default) disables the check entirely.
 
         Returns the simulation time at which the run stopped.
         """
@@ -249,6 +265,10 @@ class Simulator:
         self.initialize()
         self._running = True
         self._stop_requested = False
+        self.watchdog_fired = False
+        wall_deadline = (
+            time.monotonic() + max_wall_s if max_wall_s is not None else None
+        )
         until_fs = until.femtoseconds if until is not None else None
         deltas_this_instant = 0
         instant_active = False  # anything happened at the current instant?
@@ -265,6 +285,12 @@ class Simulator:
                     executed = True
                     stats.process_executions += 1
                     process._execute()
+                    if (
+                        wall_deadline is not None
+                        and (stats.process_executions & 0xFF) == 0
+                        and time.monotonic() >= wall_deadline
+                    ):
+                        self._trip_watchdog(max_wall_s)
                     if self._stop_requested:
                         break
                 if self._stop_requested:
@@ -312,6 +338,13 @@ class Simulator:
                             continue  # a hook injected activity at this instant
                 # Timed notification phase.
                 deltas_this_instant = 0
+                if (
+                    wall_deadline is not None
+                    and (stats.timed_activations & 0xFF) == 0
+                    and time.monotonic() >= wall_deadline
+                ):
+                    self._trip_watchdog(max_wall_s)
+                    break
                 next_action = self._pop_next_timed()
                 if next_action is None:
                     break  # starvation
@@ -340,6 +373,22 @@ class Simulator:
                     f"simulation starved at {self.now} with blocked processes: {names}"
                 )
         return self.now
+
+    def _trip_watchdog(self, max_wall_s: float) -> None:
+        """Stop the run: the wall-clock budget is exhausted.
+
+        Attaches a post-mortem (:func:`repro.analysis.deadlock.watchdog_report`)
+        when the analysis layer is importable; the kernel itself stays
+        dependency-free, so the import is lazy and failure-tolerant.
+        """
+        self.watchdog_fired = True
+        self._stop_requested = True
+        try:
+            from ..analysis.deadlock import watchdog_report
+        except ImportError:  # kernel used standalone, no analysis layer
+            self.watchdog_report = None
+        else:
+            self.watchdog_report = watchdog_report(self, max_wall_s)
 
     def _pop_next_timed(self) -> Optional[TimedAction]:
         timed_heap = self._timed_heap

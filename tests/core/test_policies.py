@@ -62,6 +62,22 @@ class TestPolicies:
         b = [RandomPolicy(seed=5).choose_victim(slots).index for _ in range(3)]
         assert a == b
 
+    def test_random_accepts_an_injected_generator(self):
+        # A campaign shares one seeded Random across the whole experiment;
+        # an injected generator must win over the seed argument.
+        import random
+
+        slots = self._slots([(0, 0), (1, 1), (2, 2)])
+        a = [
+            RandomPolicy(rng=random.Random(9)).choose_victim(slots).index
+            for _ in range(5)
+        ]
+        b = [
+            RandomPolicy(seed=5, rng=random.Random(9)).choose_victim(slots).index
+            for _ in range(5)
+        ]
+        assert a == b
+
     def test_pinned_lru_protects_pinned(self):
         slots = self._slots([(0, 0), (1, 1)])
         policy = PinnedLruPolicy(pinned=["s0"])

@@ -1,0 +1,64 @@
+"""docs/LINT.md must stay in lockstep with the registered lint rules.
+
+Every code in :data:`repro.analysis.lint.RULES` needs a ``## REPnnn``
+reference section, and every documented code must still exist — a rule
+added, renamed or retired without touching the docs fails here.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, all_rule_codes
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "LINT.md"
+
+#: ``## REPnnn — title (layer, severity)``
+HEADING = re.compile(r"^## (REP\d{3}) — .+ \(([^,)]+), (\w+)\)$", re.MULTILINE)
+
+
+@pytest.fixture(scope="module")
+def documented():
+    matches = HEADING.findall(DOC.read_text())
+    assert matches, f"no rule headings found in {DOC}"
+    return matches
+
+
+def test_every_registered_rule_is_documented(documented):
+    documented_codes = {code for code, _, _ in documented}
+    missing = sorted(set(all_rule_codes()) - documented_codes)
+    assert not missing, f"rules missing from docs/LINT.md: {missing}"
+
+
+def test_every_documented_rule_is_registered(documented):
+    stale = sorted({code for code, _, _ in documented} - set(all_rule_codes()))
+    assert not stale, f"docs/LINT.md documents retired rules: {stale}"
+
+
+def test_no_duplicate_headings(documented):
+    codes = [code for code, _, _ in documented]
+    assert len(codes) == len(set(codes))
+
+
+def test_documented_severity_matches_the_registry(documented):
+    for code, _layer, severity in documented:
+        assert severity == RULES[code].severity, (
+            f"{code}: docs say {severity!r}, registry says "
+            f"{RULES[code].severity!r}"
+        )
+
+
+def test_documented_layer_names_the_registered_layer(documented):
+    # The doc may give a compound layer (e.g. "drcf/netlist" for a rule
+    # spanning both passes) but must include the registered one.
+    for code, layer, _severity in documented:
+        assert RULES[code].layer in layer.split("/"), (
+            f"{code}: docs say layer {layer!r}, registry says "
+            f"{RULES[code].layer!r}"
+        )
+
+
+def test_headings_are_sorted_by_code(documented):
+    codes = [code for code, _, _ in documented]
+    assert codes == sorted(codes)

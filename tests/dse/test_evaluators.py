@@ -76,3 +76,31 @@ class TestEvaluateArchitecture:
             evaluate_architecture(
                 {"tech": "asic", "n_frames": 1, "accels": ("fir",)}
             )
+
+
+class TestEvaluateRobustness:
+    def test_merges_performance_and_dependability_metrics(self):
+        from repro.dse import evaluate_robustness
+
+        metrics = evaluate_robustness(
+            {
+                "tech": "virtex2pro",
+                "n_frames": 1,
+                "accels": ("fir", "fft"),
+                "fault_trials": 2,
+                "recovery": "retry",
+            }
+        )
+        assert metrics["makespan_us"] > 0  # the architecture row survived
+        assert metrics["recovery"] == "retry"
+        assert metrics["fault_trials"] == 2
+        assert 0.0 <= metrics["fault_coverage"] <= 1.0
+        for rate in ("sdc_rate", "hang_rate", "masked_rate"):
+            assert 0.0 <= metrics[rate] <= 1.0
+        assert metrics["mttr_us"] >= 0.0
+
+    def test_rejects_dedicated_logic_points(self):
+        from repro.dse import evaluate_robustness
+
+        with pytest.raises(KeyError, match="reconfigurable"):
+            evaluate_robustness({"tech": "asic", "accels": ("fir",)})

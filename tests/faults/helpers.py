@@ -1,0 +1,43 @@
+"""Shared builders for fault-injection tests: a hooked DRCF rig."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from tests.core.helpers import DrcfRig
+
+#: The address-map shim FaultInjector.attach expects from a SoC template.
+RIG_INFO = SimpleNamespace(drcf_name="drcf", config_memory_name="cfg")
+
+
+def make_rig(**drcf_kwargs) -> DrcfRig:
+    """A two-context DRCF rig prepared for fault injection.
+
+    Stamps the expected checksums (as the transformation's
+    post-elaboration hook does) and points the DRCF at its configuration
+    memory so scrubbing can repair.
+    """
+    rig = DrcfRig(n_contexts=2, context_gates=1000, **drcf_kwargs)
+    for context in rig.drcf.contexts:
+        context.params.checksum = rig.cfgmem.checksum_of(context.name)
+    rig.drcf.config_memory = rig.cfgmem
+    return rig
+
+
+def rig_design(rig: DrcfRig) -> dict:
+    """Design mapping for FaultInjector.attach (name -> component)."""
+    return {"drcf": rig.drcf, "cfg": rig.cfgmem}
+
+
+def access(rig: DrcfRig, *indices, delay_us: float = 0.0, until=None):
+    """Drive one master read per context index, then run the simulation."""
+    from repro.kernel import us
+
+    def body():
+        if delay_us:
+            yield us(delay_us)
+        for index in indices:
+            yield from rig.master_read(rig.addr(index))
+
+    rig.sim.spawn("p", body)
+    rig.sim.run(until=until)

@@ -1,0 +1,56 @@
+"""FaultSpec validation and serialization."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultSpec
+
+
+class TestFaultSpec:
+    def test_kinds_cover_the_configuration_path(self):
+        assert FAULT_KINDS == ("bitflip", "truncate", "bus_transient", "stuck")
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_roundtrips_through_dict(self, kind):
+        spec = FaultSpec(
+            kind=kind,
+            target="fft",
+            at_ns=1234.5,
+            n_bits=3,
+            drop_fraction=0.25,
+            n_bursts=2,
+            stall_us=100.0,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_describe_names_kind_and_target(self, kind):
+        text = FaultSpec(kind=kind, target="fir", at_ns=0.0).describe()
+        assert kind in text
+        assert "fir" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kind="gamma_ray"),
+            dict(target=""),
+            dict(at_ns=-1.0),
+            dict(n_bits=0),
+            dict(drop_fraction=0.0),
+            dict(drop_fraction=1.5),
+            dict(n_bursts=0),
+            dict(stall_us=0.0),
+        ],
+    )
+    def test_rejects_malformed_specs(self, kwargs):
+        base = dict(kind="bitflip", target="fir", at_ns=0.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            FaultSpec(**base)
+
+    def test_full_drop_fraction_is_allowed(self):
+        FaultSpec(kind="truncate", target="fir", at_ns=0.0, drop_fraction=1.0)
+
+    def test_specs_are_frozen(self):
+        spec = FaultSpec(kind="stuck", target="fir", at_ns=0.0)
+        with pytest.raises(AttributeError):
+            spec.target = "fft"

@@ -8,25 +8,29 @@
 #   2. kernel throughput smoke (>30% regression vs BENCH_kernel.json fails)
 #   3. ruff check (skipped with a notice when ruff is not installed)
 #   4. static model lint over every example architecture (must be clean)
+#   5. fault-campaign smoke: seeded campaign must reproduce byte-for-byte
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/4 tier-1 tests =="
+echo "== 1/5 tier-1 tests =="
 python -m pytest tests -q
 
-echo "== 2/4 kernel throughput check =="
+echo "== 2/5 kernel throughput check =="
 python tools/bench_kernel.py --check
 
-echo "== 3/4 ruff =="
+echo "== 3/5 ruff =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests tools examples
 else
     echo "ruff not installed; skipping (config lives in pyproject.toml)"
 fi
 
-echo "== 4/4 static model lint over examples/ =="
+echo "== 4/5 static model lint over examples/ =="
 python -m repro lint examples/*.py
+
+echo "== 5/5 fault-campaign reproducibility smoke =="
+python -m repro inject --builtin modem --trials 8 --seed 7 --check
 
 echo "ci_check: all gates passed"

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.apps.accelerators",
     "repro.dse",
     "repro.analysis",
+    "repro.faults",
 ]
 
 
