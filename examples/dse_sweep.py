@@ -4,16 +4,21 @@
 The point of the paper's methodology: "true design space exploration at the
 system-level, without the need to map the design first to an actual
 technology implementation."  This sweep evaluates the same application on
-the Chapter 3 technology presets and both workload localities, then prints
-the metric table and the latency/area Pareto front.
+the Chapter 3 technology presets and both workload localities — fanning
+the points out over worker processes and reusing any previously simulated
+point from the on-disk evaluation cache (delete ``.dse-cache/`` for a
+cold run) — then prints the metric table and the latency/area Pareto
+front.  See docs/DSE.md for the sweep engine.
 
 Run:  python examples/dse_sweep.py
 """
 
 from repro.dse import (
+    EvalCache,
     Explorer,
     ParameterSpace,
     evaluate_architecture,
+    evaluator_fingerprint,
     format_points,
     pareto_front,
 )
@@ -36,8 +41,15 @@ def main() -> None:
         .add_axis("workload", ["interleaved", "batched"])
         .add_axis("n_frames", [2])
     )
-    print(f"sweeping {space.size} design points ...\n")
-    points = Explorer(evaluate_architecture).run(space)
+    cache = EvalCache(".dse-cache", evaluator_fingerprint(evaluate_architecture))
+    print(f"sweeping {space.size} design points (2 workers, cached) ...")
+    report = Explorer(evaluate_architecture).sweep(space, workers=2, cache=cache)
+    points = report.points
+    stats = report.cache
+    print(
+        f"evaluated={report.evaluated}  cache hits={stats['hits']}  "
+        f"misses={stats['misses']}  invalidated={stats['invalidated']}\n"
+    )
 
     print(
         format_points(

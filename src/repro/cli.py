@@ -5,6 +5,8 @@ Drives the reproduction's main entry points without writing Python::
     python -m repro info
     python -m repro compare --tech morphosys --frames 2
     python -m repro sweep --techs asic,virtex2pro,morphosys --csv out.csv
+    python -m repro sweep --workers 4 --cache-dir .sweep-cache --json
+    python -m repro sweep --resume sweep.jsonl --check
     python -m repro flow --tech varicore
     python -m repro transform --accels fir,fft --tech virtex2pro --listing
     python -m repro deadlock
@@ -80,6 +82,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--accels", type=_accel_list, default=_accel_list(DEFAULT_ACCELS))
     sweep.add_argument("--frames", type=int, default=2)
     sweep.add_argument("--csv", default=None, help="also write rows to this CSV file")
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="multiprocessing design-point workers"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed evaluation cache directory (see docs/DSE.md)",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "journal file (created if missing): completed points are "
+            "replayed, only the remainder simulates"
+        ),
+    )
+    sweep.add_argument("--json", action="store_true", help="machine-readable output")
+    sweep.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "re-run the sweep serially without cache/journal and fail "
+            "unless both JSON reports are byte-identical"
+        ),
+    )
 
     flow = sub.add_parser("flow", help="run the Figure 3 ADRIATIC flow")
     flow.add_argument("--accels", type=_accel_list, default=_accel_list(DEFAULT_ACCELS))
@@ -240,7 +268,17 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from .dse import Explorer, ParameterSpace, evaluate_architecture, format_points, points_to_rows, write_csv
+    from .dse import (
+        EvalCache,
+        Explorer,
+        ParameterSpace,
+        SweepJournal,
+        evaluate_architecture,
+        evaluator_fingerprint,
+        format_points,
+        points_to_rows,
+        write_csv,
+    )
 
     techs = [_tech_name(t.strip()) for t in args.techs.split(",") if t.strip()]
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
@@ -251,14 +289,50 @@ def cmd_sweep(args) -> int:
         .add_axis("n_frames", [args.frames])
         .add_axis("accels", [tuple(args.accels)])
     )
-    points = Explorer(evaluate_architecture).run(space)
+    explorer = Explorer(evaluate_architecture)
+    fingerprint = evaluator_fingerprint(evaluate_architecture)
+    cache = EvalCache(args.cache_dir, fingerprint) if args.cache_dir else None
+    journal = SweepJournal(args.resume, fingerprint) if args.resume else None
+    report = explorer.sweep(
+        space, workers=max(1, args.workers), cache=cache, journal=journal
+    )
+    if args.check:
+        # Ground truth: a fresh serial sweep with no cache and no journal.
+        # Matching bytes prove the pool fan-out, the cache replays and the
+        # journal replays all reproduce the plain for-loop exactly.
+        fresh = explorer.sweep(space, workers=1)
+        if report.to_json() != fresh.to_json():
+            print(
+                "REPRODUCIBILITY FAILURE: parallel/cached sweep differs "
+                "from the serial re-run",
+                file=sys.stderr,
+            )
+            return 1
     metric_keys = (
         "makespan_us", "switches", "reconfig_time_us", "bus_config_words", "area_um2",
     )
-    print(format_points(points, ("tech", "workload"), metric_keys, title="DSE sweep"))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(
+            f"sweep: {len(report.points)} points  evaluated={report.evaluated}  "
+            f"resumed={report.resumed}  workers={report.workers}"
+        )
+        if report.cache is not None:
+            rate = report.cache["hit_rate"]
+            print(
+                "cache: hits={hits} misses={misses} stores={stores} "
+                "invalidated={invalidated}".format(**report.cache)
+                + (f" (hit rate {rate:.0%})" if rate is not None else "")
+            )
+        print()
+        print(format_points(report.points, ("tech", "workload"), metric_keys, title="DSE sweep"))
+        if args.check:
+            print("\nreproducibility check: OK (serial re-run, identical JSON)")
     if args.csv:
-        write_csv(args.csv, points_to_rows(points, ("tech", "workload"), metric_keys))
-        print(f"\nrows written to {args.csv}")
+        write_csv(args.csv, points_to_rows(report.points, ("tech", "workload"), metric_keys))
+        if not args.json:
+            print(f"\nrows written to {args.csv}")
     return 0
 
 

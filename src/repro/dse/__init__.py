@@ -1,19 +1,28 @@
 """Design-space exploration.
 
-Parameter spaces and sweeps (:mod:`space`, :mod:`explorer`,
-:mod:`evaluators`), Pareto/crossover analysis (:mod:`pareto`), text/CSV
-reports (:mod:`report`), the Section 5.1 partitioning rules
-(:mod:`partition`) and the full ADRIATIC flow of Figure 3 (:mod:`flow`).
+Parameter spaces and parallel, cached, resumable sweeps (:mod:`space`,
+:mod:`explorer`, :mod:`cache`, :mod:`evaluators`), Pareto/crossover
+analysis (:mod:`pareto`), text/CSV reports (:mod:`report`), the Section
+5.1 partitioning rules (:mod:`partition`) and the full ADRIATIC flow of
+Figure 3 (:mod:`flow`).
 """
 
+from .cache import (
+    CacheStats,
+    EvalCache,
+    SweepJournal,
+    canonical_params,
+    evaluator_fingerprint,
+    params_key,
+)
 from .evaluators import (
     DEFAULT_ACCELS,
     evaluate_architecture,
     evaluate_robustness,
     make_jobs,
 )
-from .explorer import DsePoint, Explorer, best_point
-from .flow import AdriaticFlow, FlowResult, StageRun
+from .explorer import DsePoint, Explorer, SweepReport, best_point
+from .flow import AdriaticFlow, FlowResult, StageRun, evaluate_flow
 from .pareto import Objective, crossover_point, dominates, pareto_front
 from .partition import (
     BlockProfile,
@@ -33,23 +42,31 @@ from .space import ParameterSpace
 __all__ = [
     "AdriaticFlow",
     "BlockProfile",
+    "CacheStats",
     "DEFAULT_ACCELS",
     "DsePoint",
+    "EvalCache",
     "Explorer",
     "FlowResult",
     "Objective",
     "ParameterSpace",
     "PartitionRecommendation",
     "StageRun",
+    "SweepJournal",
+    "SweepReport",
     "best_point",
+    "canonical_params",
     "crossover_point",
     "dominates",
     "evaluate_architecture",
+    "evaluate_flow",
     "evaluate_robustness",
+    "evaluator_fingerprint",
     "format_points",
     "format_table",
     "make_jobs",
     "pareto_front",
+    "params_key",
     "points_to_rows",
     "profiles_from_run",
     "recommend_candidates",

@@ -1,0 +1,272 @@
+"""Content-addressed evaluation cache and resume journal for sweeps.
+
+A design-point evaluation is a pure function of its parameter dictionary
+(every evaluator in :mod:`repro.dse.evaluators` builds a fresh seeded
+simulator), so its metrics can be reused across sweeps instead of
+re-simulated.  Two pieces make that safe:
+
+* :class:`EvalCache` — one JSON file per design point under a cache
+  directory, addressed by the SHA-256 of the canonicalized parameters.
+  Every entry records the *evaluator fingerprint* (a hash over the
+  evaluator's module source and the package version); an entry whose
+  fingerprint no longer matches is counted as *invalidated* and
+  re-evaluated, so editing evaluator code never serves stale metrics.
+* :class:`SweepJournal` — an append-only JSONL log of completed points.
+  A sweep interrupted half-way (Ctrl-C, OOM, machine loss) resumes from
+  the journal: completed points are replayed, only the remainder
+  simulates.  The journal header pins the fingerprint too; a stale
+  journal is discarded rather than resumed.
+
+Caching keys canonicalize the parameter dictionary (sorted keys, tuples
+and lists unified), optionally dropping keys the evaluator declares as
+result-neutral via a ``cache_exclude`` attribute (e.g. the inner worker
+count of :func:`~repro.dse.evaluators.evaluate_robustness`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+#: Schema tags, bumped on any incompatible layout change.
+CACHE_SCHEMA = "dse-cache/v1"
+JOURNAL_SCHEMA = "dse-journal/v1"
+
+
+def canonical_params(
+    params: Dict[str, object], exclude: Iterable[str] = ()
+) -> str:
+    """Deterministic JSON form of a parameter dictionary.
+
+    Keys are sorted, tuples serialize as lists (so ``("fir",)`` and
+    ``["fir"]`` address the same entry) and non-JSON values fall back to
+    ``repr``.  Keys in ``exclude`` are dropped before serialization.
+    """
+    dropped = set(exclude)
+    filtered = {k: v for k, v in params.items() if k not in dropped}
+    return json.dumps(filtered, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def params_key(params: Dict[str, object], exclude: Iterable[str] = ()) -> str:
+    """Content address of one design point (hex SHA-256)."""
+    return hashlib.sha256(canonical_params(params, exclude).encode("utf-8")).hexdigest()
+
+
+def evaluator_fingerprint(evaluate: Callable) -> str:
+    """Hash identifying the evaluator's code version.
+
+    Covers the evaluator's qualified name, the full source of its defining
+    module (so editing *any* code in that module invalidates cached
+    metrics) and the package version (so releases touching deeper layers
+    invalidate too).  Falls back to the callable's own source or ``repr``
+    for evaluators without an importable module (lambdas in a REPL).
+    """
+    from .. import __version__
+
+    parts = [
+        getattr(evaluate, "__module__", "") or "",
+        getattr(evaluate, "__qualname__", "") or repr(evaluate),
+        __version__,
+    ]
+    source = None
+    module = sys.modules.get(parts[0])
+    if module is not None:
+        try:
+            source = inspect.getsource(module)
+        except (OSError, TypeError):
+            source = None
+    if source is None:
+        try:
+            source = inspect.getsource(evaluate)
+        except (OSError, TypeError):
+            source = repr(evaluate)
+    parts.append(source)
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def cache_exclude_of(evaluate: Callable) -> Tuple[str, ...]:
+    """Result-neutral parameter keys the evaluator opted out of its key."""
+    return tuple(getattr(evaluate, "cache_exclude", ()))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one sweep (surfaced in the sweep report)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        return self.hits / self.lookups if self.lookups else None
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class EvalCache:
+    """On-disk metric cache: one JSON file per design point.
+
+    Entries live under ``path`` named ``<sha256>.json``; an entry is
+    served only when its recorded fingerprint matches this cache's.  A
+    mismatching entry counts as *invalidated* (and as a miss) and is
+    overwritten on the next :meth:`put`.  Failed evaluations are never
+    cached — an error should re-run, not stick.
+    """
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.stats = CacheStats()
+        os.makedirs(path, exist_ok=True)
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.json")
+
+    def get(
+        self, params: Dict[str, object], exclude: Iterable[str] = ()
+    ) -> Optional[Dict[str, object]]:
+        """Cached metrics of one design point, or None on miss."""
+        entry_path = self._entry_path(params_key(params, exclude))
+        try:
+            with open(entry_path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if (
+            entry.get("schema") != CACHE_SCHEMA
+            or entry.get("fingerprint") != self.fingerprint
+        ):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["metrics"]
+
+    def put(
+        self,
+        params: Dict[str, object],
+        metrics: Dict[str, object],
+        exclude: Iterable[str] = (),
+    ) -> None:
+        """Store one successful evaluation (atomic rename, crash-safe)."""
+        key = params_key(params, exclude)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "params": json.loads(canonical_params(params, exclude)),
+            "metrics": metrics,
+        }
+        entry_path = self._entry_path(key)
+        tmp_path = f"{entry_path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp_path, entry_path)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.path) if name.endswith(".json"))
+
+
+class SweepJournal:
+    """Append-only completion log making an interrupted sweep resumable.
+
+    Line 1 is a header pinning the schema and evaluator fingerprint;
+    every further line is one completed point
+    (``{"key", "params", "metrics", "error"}``).  Opening a journal whose
+    header does not match the current fingerprint discards it (the code
+    changed — old results must not resume) and counts the loss in
+    ``stale_entries``.  A torn final line (the process died mid-write) is
+    ignored, so resume always starts from a consistent prefix.
+    """
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        #: key -> {"metrics", "error"} of every completed point on disk.
+        self.completed: Dict[str, dict] = {}
+        #: Entries discarded because the journal predated a code change.
+        self.stale_entries = 0
+        self._load()
+
+    def _load(self) -> None:
+        lines = []
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        header = None
+        if lines:
+            try:
+                header = json.loads(lines[0])
+            except ValueError:
+                header = None
+        valid = (
+            isinstance(header, dict)
+            and header.get("schema") == JOURNAL_SCHEMA
+            and header.get("fingerprint") == self.fingerprint
+        )
+        if valid:
+            for line in lines[1:]:
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn tail write from a killed sweep
+                if isinstance(entry, dict) and "key" in entry:
+                    self.completed[entry["key"]] = entry
+            return
+        self.stale_entries = max(0, len(lines) - 1)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"schema": JOURNAL_SCHEMA, "fingerprint": self.fingerprint},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+    def lookup(self, key: str) -> Optional[dict]:
+        """The completed entry of ``key``, or None if still pending."""
+        return self.completed.get(key)
+
+    def record(
+        self,
+        key: str,
+        params: Dict[str, object],
+        metrics: Dict[str, object],
+        error: Optional[str],
+    ) -> None:
+        """Append one completed point and flush it to disk immediately."""
+        entry = {
+            "key": key,
+            "params": json.loads(canonical_params(params)),
+            "metrics": metrics,
+            "error": error,
+        }
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.completed[key] = entry
+
+    def __len__(self) -> int:
+        return len(self.completed)

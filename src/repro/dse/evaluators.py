@@ -251,3 +251,8 @@ def evaluate_robustness(params: Dict[str, object]) -> Dict[str, object]:
         else 0.0,
     )
     return metrics
+
+
+# The inner campaign is byte-identical for any worker count, so the worker
+# knob must not split the evaluation cache (see repro.dse.cache).
+evaluate_robustness.cache_exclude = ("fault_workers",)

@@ -4,15 +4,36 @@ Evaluates every point of a :class:`~repro.dse.space.ParameterSpace` with an
 evaluator function (typically
 :func:`~repro.dse.evaluators.evaluate_architecture`), collecting
 :class:`DsePoint` records.  Each point builds a fresh simulator, so points
-are fully independent and deterministic.
+are fully independent and deterministic — which is what makes the three
+scaling features of :meth:`Explorer.sweep` safe:
+
+* **parallelism** — points fan out over a ``multiprocessing`` pool
+  (:func:`repro.parallel.map_ordered`, the same engine the fault campaign
+  uses); results keep enumeration order and are byte-identical to a
+  serial run for any worker count,
+* **caching** — an :class:`~repro.dse.cache.EvalCache` serves previously
+  simulated points by content address, with hit/miss/invalidation
+  counters surfaced in the :class:`SweepReport`,
+* **resume** — a :class:`~repro.dse.cache.SweepJournal` logs every
+  completed point as it lands, so an interrupted sweep continues from
+  where it died instead of starting over.
+
+Parallel sweeps require a picklable (module-level) evaluator; lambdas and
+closures still work serially.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..parallel import map_ordered
+from .cache import EvalCache, SweepJournal, cache_exclude_of, params_key
 from .space import ParameterSpace
+
+#: Schema tag of the deterministic sweep-report JSON.
+SWEEP_SCHEMA = "dse-sweep/v1"
 
 
 @dataclass
@@ -33,6 +54,87 @@ class DsePoint:
             return self.metrics[key]
         return self.params.get(key, default)
 
+    def to_dict(self) -> dict:
+        return {"params": self.params, "metrics": self.metrics, "error": self.error}
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep produced, plus how it was produced.
+
+    ``points`` is the payload (enumeration order, every point of the
+    space); ``evaluated``/``cache``/``resumed`` say how many simulations
+    actually ran versus were served from the cache or the resume journal.
+    :meth:`to_json` covers the payload only — no worker counts, no cache
+    counters, no wall-clock — so reports are byte-identical across
+    ``workers=1`` and ``workers=N`` and across cold/warm cache runs.
+    """
+
+    points: List[DsePoint] = field(default_factory=list)
+    #: Points that ran a fresh simulation in this sweep.
+    evaluated: int = 0
+    #: Points replayed from the resume journal.
+    resumed: int = 0
+    #: Worker count this sweep ran with (reporting only).
+    workers: int = 1
+    #: Snapshot of the cache counters (None when no cache was attached).
+    cache: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        """The deterministic payload (points only; see class docstring)."""
+        return {
+            "schema": SWEEP_SCHEMA,
+            "n_points": len(self.points),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON: sorted keys, payload only."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Human-readable report: provenance counters plus the full table."""
+        from .report import format_table
+
+        cache_hits = self.cache["hits"] if self.cache else 0
+        lines = [
+            f"sweep: {len(self.points)} points  evaluated={self.evaluated}  "
+            f"cache-hits={cache_hits}  resumed={self.resumed}  "
+            f"workers={self.workers}"
+        ]
+        if self.cache:
+            rate = self.cache["hit_rate"]
+            lines.append(
+                "cache: hits={hits} misses={misses} stores={stores} "
+                "invalidated={invalidated}".format(**self.cache)
+                + (f" (hit rate {rate:.0%})" if rate is not None else "")
+            )
+        lines.append("")
+        rows = []
+        for point in self.points:
+            row = dict(point.params)
+            row.update(point.metrics)
+            if point.error is not None:
+                row["error"] = point.error
+            rows.append(row)
+        lines.append(format_table(rows, title=title))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# point evaluation (top-level so multiprocessing can pickle it)
+# ---------------------------------------------------------------------------
+
+def _evaluate_point(payload) -> dict:
+    """Evaluate one design point (worker entry point)."""
+    evaluate, params, capture_errors = payload
+    try:
+        return {"metrics": evaluate(params), "error": None}
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        return {"metrics": {}, "error": f"{type(exc).__name__}: {exc}"}
+
 
 class Explorer:
     """Runs an evaluator over a parameter space."""
@@ -46,25 +148,105 @@ class Explorer:
         self.evaluate = evaluate
         self.raise_on_error = raise_on_error
 
-    def run(self, space: ParameterSpace) -> List[DsePoint]:
-        """Evaluate every point; returns records in enumeration order."""
-        points: List[DsePoint] = []
-        for params in space.points():
-            try:
-                metrics = self.evaluate(params)
-                points.append(DsePoint(params=params, metrics=metrics))
-            except Exception as exc:
-                if self.raise_on_error:
-                    raise
-                points.append(
-                    DsePoint(params=params, metrics={}, error=f"{type(exc).__name__}: {exc}")
+    def run(
+        self,
+        space: ParameterSpace,
+        *,
+        workers: int = 1,
+        cache: Optional[EvalCache] = None,
+        journal: Optional[SweepJournal] = None,
+    ) -> List[DsePoint]:
+        """Evaluate every point; returns records in enumeration order.
+
+        With ``raise_on_error`` the exception of the first failing point
+        propagates with every already-completed :class:`DsePoint` attached
+        as ``exc.partial_points`` (and logged in the journal, when one is
+        attached), so a long sweep is never lost to its last point.
+        """
+        return self.sweep(space, workers=workers, cache=cache, journal=journal).points
+
+    def sweep(
+        self,
+        space: ParameterSpace,
+        *,
+        workers: int = 1,
+        cache: Optional[EvalCache] = None,
+        journal: Optional[SweepJournal] = None,
+    ) -> SweepReport:
+        """Like :meth:`run`, but returns the full :class:`SweepReport`."""
+        exclude = cache_exclude_of(self.evaluate)
+        all_params = list(space.points())
+        points: List[Optional[DsePoint]] = [None] * len(all_params)
+        keys: List[Optional[str]] = [None] * len(all_params)
+        resumed = 0
+        pending: List[int] = []
+        for i, params in enumerate(all_params):
+            if cache is not None or journal is not None:
+                keys[i] = params_key(params, exclude)
+            if journal is not None:
+                entry = journal.lookup(keys[i])
+                if entry is not None:
+                    points[i] = DsePoint(
+                        params=params,
+                        metrics=entry["metrics"],
+                        error=entry["error"],
+                    )
+                    resumed += 1
+                    continue
+            if cache is not None:
+                metrics = cache.get(params, exclude)
+                if metrics is not None:
+                    points[i] = DsePoint(params=params, metrics=metrics)
+                    if journal is not None:
+                        journal.record(keys[i], params, metrics, None)
+                    continue
+            pending.append(i)
+
+        capture = not self.raise_on_error
+        payloads = [(self.evaluate, all_params[i], capture) for i in pending]
+        outcomes = map_ordered(_evaluate_point, payloads, workers=workers)
+        try:
+            for i, outcome in zip(pending, outcomes):
+                point = DsePoint(
+                    params=all_params[i],
+                    metrics=outcome["metrics"],
+                    error=outcome["error"],
                 )
-        return points
+                points[i] = point
+                if cache is not None and point.ok:
+                    cache.put(all_params[i], point.metrics, exclude)
+                if journal is not None:
+                    journal.record(keys[i], all_params[i], point.metrics, point.error)
+        except Exception as exc:
+            # A long sweep must never be lost to one bad point: the
+            # completed prefix rides on the exception (and is already in
+            # the journal, when one is attached).
+            exc.partial_points = [p for p in points if p is not None]
+            raise
+        return SweepReport(
+            points=[p for p in points if p is not None],
+            evaluated=len(pending),
+            resumed=resumed,
+            workers=workers,
+            cache=cache.stats.to_dict() if cache is not None else None,
+        )
 
 
 def best_point(points: List[DsePoint], metric: str, minimize: bool = True) -> DsePoint:
-    """The point optimizing one metric (ignoring failed points)."""
+    """The point optimizing one metric.
+
+    Failed points and points whose metrics lack ``metric`` are skipped
+    (heterogeneous sweeps — e.g. ASIC points carry no reconfiguration
+    metrics); if no successful point carries the metric at all a
+    ``ValueError`` naming it is raised.
+    """
     ok = [p for p in points if p.ok]
     if not ok:
         raise ValueError("no successful design points")
-    return min(ok, key=lambda p: p.metrics[metric] if minimize else -p.metrics[metric])
+    carrying = [p for p in ok if metric in p.metrics]
+    if not carrying:
+        raise ValueError(
+            f"no successful design point carries metric {metric!r}"
+        )
+    choose = min if minimize else max
+    return choose(carrying, key=lambda p: p.metrics[metric])

@@ -228,3 +228,49 @@ class AdriaticFlow:
             baseline_lint=baseline_lint,
             mapped_lint=mapped_lint,
         )
+
+
+def evaluate_flow(params: Dict[str, object]) -> Dict[str, object]:
+    """Sweepable evaluator running the full Figure 3 flow at one point.
+
+    Where :func:`~repro.dse.evaluators.evaluate_architecture` measures one
+    architecture, this runs the *whole* ADRIATIC flow (baseline profiling,
+    partitioning, transformation, mapped simulation) and reports the
+    stage comparison — the row behind flow-level sweeps such as "which
+    technology keeps the mapped makespan within 2x of the baseline?".
+
+    Recognized parameters: ``tech`` (preset name, required to be
+    reconfigurable), ``accels``, ``n_frames``, ``seed`` and
+    ``back_annotate_scale``.  Module-level (picklable), so it parallelizes
+    and caches like every other evaluator.
+    """
+    from ..tech import preset
+
+    scale = params.get("back_annotate_scale")
+    flow = AdriaticFlow(
+        tuple(params.get("accels", ("fir", "fft", "viterbi", "xtea"))),
+        tech=preset(str(params.get("tech", "virtex2pro"))),
+        n_frames=int(params.get("n_frames", 2)),
+        seed=int(params.get("seed", 42)),
+    )
+    result = flow.run(
+        back_annotate_scale=float(scale) if scale is not None else None
+    )
+    metrics: Dict[str, object] = {
+        "candidates": ",".join(result.recommendation.candidates),
+        "baseline_makespan_us": result.baseline_run.makespan_us,
+        "baseline_ok": result.baseline_run.outputs_match_spec,
+    }
+    if result.mapped_run is not None:
+        metrics.update(
+            mapped_makespan_us=result.mapped_run.makespan_us,
+            mapped_ok=result.mapped_run.outputs_match_spec,
+            mapped_slowdown=result.mapped_run.makespan_us
+            / result.baseline_run.makespan_us,
+            switches=result.mapped_run.switches,
+            reconfig_time_us=result.mapped_run.reconfig_time_us,
+            bus_config_words=result.mapped_run.bus_config_words,
+        )
+    if result.back_annotated_run is not None:
+        metrics["back_annotated_makespan_us"] = result.back_annotated_run.makespan_us
+    return metrics

@@ -13,6 +13,20 @@ from typing import Dict, List, Optional, Sequence
 from .explorer import DsePoint
 
 
+def _union_columns(rows: Sequence[Dict[str, object]]) -> List[str]:
+    """Ordered union of keys across *all* rows (first-seen order).
+
+    Heterogeneous rows are the norm, not the exception — error rows grow
+    an ``error`` key, ASIC points lack reconfiguration metrics — so
+    deriving columns from ``rows[0]`` alone silently drops data.
+    """
+    columns: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key)
+    return list(columns)
+
+
 def _fmt(value: object, precision: int = 3) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
@@ -34,7 +48,7 @@ def format_table(
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = _union_columns(rows)
     cells = [[_fmt(row.get(col, ""), precision) for col in columns] for row in rows]
     widths = [
         max(len(str(col)), *(len(cell[i]) for cell in cells))
@@ -89,9 +103,11 @@ def to_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] =
     if not rows:
         return ""
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = _union_columns(rows)
     out = io.StringIO()
-    writer = csv.DictWriter(out, fieldnames=list(columns), extrasaction="ignore")
+    writer = csv.DictWriter(
+        out, fieldnames=list(columns), extrasaction="ignore", restval=""
+    )
     writer.writeheader()
     for row in rows:
         writer.writerow(row)

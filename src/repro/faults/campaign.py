@@ -21,11 +21,12 @@ classified into exactly one outcome:
     tripped.
 
 Trials are independent full simulations, so the engine fans them out over
-``multiprocessing`` workers; every payload is primitives-only and each
-trial derives its private RNG from ``seed * 1_000_003 + trial``, making
-the whole campaign byte-for-byte reproducible from (scenario, trials,
-seed, recovery) alone.  Reports carry no wall-clock data for exactly that
-reason.
+``multiprocessing`` workers (:func:`repro.parallel.map_ordered`, shared
+with the DSE sweep engine); every payload is primitives-only and each
+trial derives its private RNG via :func:`repro.parallel.derive_seed`,
+making the whole campaign byte-for-byte reproducible from (scenario,
+trials, seed, recovery) alone.  Reports carry no wall-clock data for
+exactly that reason.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..parallel import derive_seed, map_ordered
 from .models import FAULT_KINDS, FaultSpec
 from .scenarios import CampaignScenario
 
@@ -102,7 +104,7 @@ def build_fault_grid(
     targets = scenario.accels
     specs: List[FaultSpec] = []
     for i in range(trials):
-        rng = random.Random(seed * 1_000_003 + i)
+        rng = random.Random(derive_seed(seed, i))
         kind = FAULT_KINDS[i % len(FAULT_KINDS)]
         target = targets[(i // len(FAULT_KINDS)) % len(targets)]
         fraction = TIME_FRACTIONS[
@@ -357,19 +359,13 @@ def run_campaign(
             "recovery": recovery,
             "fault": spec.to_dict(),
             "trial": i,
-            "trial_seed": seed * 1_000_003 + i,
+            "trial_seed": derive_seed(seed, i),
             "until_ns": until_ns,
             "max_wall_s": max_wall_s,
         }
         for i, spec in enumerate(grid)
     ]
-    if workers > 1:
-        import multiprocessing
-
-        with multiprocessing.Pool(min(workers, trials)) as pool:
-            raw = pool.map(_run_trial, payloads)
-    else:
-        raw = [_run_trial(p) for p in payloads]
+    raw = list(map_ordered(_run_trial, payloads, workers=workers))
 
     results = [TrialResult(**r) for r in raw]
     counts = {name: 0 for name in OUTCOMES}

@@ -1,0 +1,68 @@
+"""Deterministic multiprocessing helpers.
+
+Both batch engines in this repository — the fault campaign
+(:mod:`repro.faults.campaign`) and the DSE sweep
+(:mod:`repro.dse.explorer`) — fan fully independent simulations out over
+``multiprocessing`` workers while promising byte-identical reports for any
+worker count.  The two ingredients of that promise live here so the
+engines share one implementation:
+
+* :func:`derive_seed` — the per-item private RNG seed.  Every item (trial,
+  design point) derives its own seed from the campaign seed and its index
+  through one fixed affine map, so the result of an item never depends on
+  which worker ran it or in which order items completed.
+* :func:`map_ordered` — order-preserving map over a payload list, serially
+  or through a process pool.  Results are yielded strictly in input order
+  as they become available, so callers can journal incremental progress
+  without ever reordering output.
+
+Payloads and results must be picklable primitives; worker functions must
+be module-level (the usual ``multiprocessing`` constraints).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+#: The multiplier of the per-item seed derivation (a prime well above any
+#: realistic item count, so per-item seed streams never collide).
+SEED_STRIDE = 1_000_003
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+__all__ = ["SEED_STRIDE", "derive_seed", "map_ordered"]
+
+
+def derive_seed(seed: int, index: int) -> int:
+    """The private RNG seed of item ``index`` under campaign seed ``seed``."""
+    return seed * SEED_STRIDE + index
+
+
+def map_ordered(
+    fn: Callable[[_P], _R],
+    payloads: Iterable[_P],
+    *,
+    workers: int = 1,
+) -> Iterator[_R]:
+    """Yield ``fn(payload)`` for every payload, strictly in input order.
+
+    With ``workers <= 1`` (or fewer than two payloads) this is a plain
+    serial loop with zero multiprocessing overhead; otherwise the payloads
+    are dispatched to a process pool of ``min(workers, len(payloads))``
+    and results stream back in input order (``imap``), so the first
+    results are available while later payloads still execute.  An
+    exception raised by ``fn`` propagates to the caller either way;
+    results yielded before it are already delivered.  Closing the
+    returned generator early tears the pool down.
+    """
+    items: Sequence[_P] = list(payloads)
+    if workers <= 1 or len(items) <= 1:
+        for payload in items:
+            yield fn(payload)
+        return
+    import multiprocessing
+
+    with multiprocessing.Pool(min(workers, len(items))) as pool:
+        # chunksize=1: items are whole simulations, far heavier than IPC.
+        yield from pool.imap(fn, items, chunksize=1)

@@ -1,0 +1,117 @@
+"""The evaluation cache: keys, fingerprints, entries, journal."""
+
+import json
+
+from repro.dse import canonical_params, evaluator_fingerprint, params_key
+from repro.dse.cache import EvalCache, SweepJournal
+
+
+def eval_a(params):
+    return {"y": 1}
+
+
+def eval_b(params):
+    return {"y": 2}
+
+
+class TestCanonicalization:
+    def test_key_order_does_not_matter(self):
+        assert canonical_params({"a": 1, "b": 2}) == canonical_params({"b": 2, "a": 1})
+
+    def test_tuples_and_lists_unify(self):
+        assert params_key({"accels": ("fir", "fft")}) == params_key(
+            {"accels": ["fir", "fft"]}
+        )
+
+    def test_exclude_drops_result_neutral_keys(self):
+        assert params_key({"x": 1, "fault_workers": 4}, exclude=("fault_workers",)) == \
+            params_key({"x": 1})
+
+    def test_different_params_different_keys(self):
+        assert params_key({"x": 1}) != params_key({"x": 2})
+
+    def test_non_json_values_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert "<odd>" in canonical_params({"o": Odd()})
+
+
+class TestFingerprint:
+    def test_stable_for_one_evaluator(self):
+        assert evaluator_fingerprint(eval_a) == evaluator_fingerprint(eval_a)
+
+    def test_distinguishes_evaluators(self):
+        assert evaluator_fingerprint(eval_a) != evaluator_fingerprint(eval_b)
+
+
+class TestEvalCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = EvalCache(str(tmp_path), "fp1")
+        assert cache.get({"x": 1}) is None
+        cache.put({"x": 1}, {"y": 10})
+        assert cache.get({"x": 1}) == {"y": 10}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_fingerprint_mismatch_invalidates(self, tmp_path):
+        EvalCache(str(tmp_path), "fp1").put({"x": 1}, {"y": 10})
+        stale = EvalCache(str(tmp_path), "fp2")
+        assert stale.get({"x": 1}) is None
+        assert stale.stats.invalidated == 1
+        assert stale.stats.misses == 1
+        # A fresh put under the new fingerprint replaces the entry.
+        stale.put({"x": 1}, {"y": 11})
+        assert stale.get({"x": 1}) == {"y": 11}
+        assert len(stale) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = EvalCache(str(tmp_path), "fp1")
+        cache.put({"x": 1}, {"y": 10})
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{ not json")
+        assert cache.get({"x": 1}) is None
+
+
+class TestSweepJournal:
+    def test_record_lookup_and_reload(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path, "fp1")
+        key = params_key({"x": 1})
+        journal.record(key, {"x": 1}, {"y": 10}, None)
+        assert journal.lookup(key)["metrics"] == {"y": 10}
+        reloaded = SweepJournal(path, "fp1")
+        assert len(reloaded) == 1
+        assert reloaded.lookup(key)["error"] is None
+
+    def test_stale_fingerprint_discards(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path, "fp1")
+        journal.record(params_key({"x": 1}), {"x": 1}, {"y": 10}, None)
+        stale = SweepJournal(path, "fp2")
+        assert len(stale) == 0
+        assert stale.stale_entries == 1
+        # The file is re-headed for the new fingerprint.
+        assert SweepJournal(path, "fp2").fingerprint == "fp2"
+
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path), "fp1")
+        journal.record(params_key({"x": 1}), {"x": 1}, {"y": 10}, None)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "half-writt')  # killed mid-write
+        survivor = SweepJournal(str(path), "fp1")
+        assert len(survivor) == 1
+
+    def test_error_entries_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path, "fp1")
+        key = params_key({"x": 3})
+        journal.record(key, {"x": 3}, {}, "RuntimeError: boom")
+        entry = SweepJournal(path, "fp1").lookup(key)
+        assert entry["error"] == "RuntimeError: boom"
+        assert json.loads(open(path).readline())["schema"] == "dse-journal/v1"

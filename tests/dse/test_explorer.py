@@ -59,3 +59,43 @@ class TestBestPoint:
     def test_all_failed_rejected(self):
         with pytest.raises(ValueError, match="no successful"):
             best_point([DsePoint(params={}, metrics={}, error="bad")], "cost")
+
+    def test_points_missing_the_metric_are_skipped(self):
+        # Heterogeneous sweeps are normal: ASIC points carry no
+        # reconfiguration metrics.  A successful point lacking the metric
+        # must not blow up the selection (regression: bare KeyError).
+        points = [
+            DsePoint(params={"tech": "asic"}, metrics={"lat": 1.0}),
+            DsePoint(params={"tech": "fpga"}, metrics={"lat": 2.0, "switches": 4}),
+            DsePoint(params={"tech": "cgra"}, metrics={"lat": 3.0, "switches": 2}),
+        ]
+        assert best_point(points, "switches").params["tech"] == "cgra"
+        assert best_point(points, "switches", minimize=False).params["tech"] == "fpga"
+
+    def test_maximize_works_on_non_numeric_metrics(self):
+        # Regression: minimize=False used to negate the value, which
+        # raised TypeError for any orderable-but-not-negatable metric.
+        points = [
+            DsePoint(params={"i": 0}, metrics={"grade": "bronze"}),
+            DsePoint(params={"i": 1}, metrics={"grade": "silver"}),
+        ]
+        assert best_point(points, "grade", minimize=False).params["i"] == 1
+        assert best_point(points, "grade").params["i"] == 0
+
+    def test_metric_absent_everywhere_names_it(self):
+        points = [DsePoint(params={}, metrics={"lat": 1.0})]
+        with pytest.raises(ValueError, match="'switches'"):
+            best_point(points, "switches")
+
+
+class TestPartialResultsOnRaise:
+    def test_exception_carries_already_evaluated_points(self):
+        def flaky(params):
+            if params["x"] == 3:
+                raise RuntimeError("bad point")
+            return {"cost": params["x"]}
+
+        space = ParameterSpace().add_axis("x", [1, 2, 3])
+        with pytest.raises(RuntimeError, match="bad point") as excinfo:
+            Explorer(flaky).run(space)
+        assert [p.params["x"] for p in excinfo.value.partial_points] == [1, 2]

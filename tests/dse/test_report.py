@@ -71,3 +71,26 @@ class TestCsv:
         content = path.read_text()
         assert content.splitlines()[0] == "tech"
         assert "morphosys" in content
+
+
+class TestHeterogeneousRows:
+    # Regression: columns used to come from rows[0] only, so keys first
+    # appearing in later rows (the error column of a failed sweep point,
+    # DRCF metrics absent from ASIC points) were silently dropped.
+    ROWS = [
+        {"tech": "asic", "lat": 1.0},
+        {"tech": "fpga", "lat": 2.0, "switches": 4},
+        {"tech": "bad", "error": "SimulationError: deadlock"},
+    ]
+
+    def test_to_csv_unions_columns_across_rows(self):
+        lines = to_csv(self.ROWS).strip().splitlines()
+        assert lines[0] == "tech,lat,switches,error"
+        assert lines[1] == "asic,1.0,,"
+        assert lines[3].endswith("SimulationError: deadlock")
+
+    def test_format_table_unions_columns_across_rows(self):
+        text = format_table(self.ROWS)
+        assert "switches" in text
+        assert "error" in text
+        assert "deadlock" in text

@@ -1,0 +1,184 @@
+"""The sweep engine: parallel determinism, caching, resume, partial results.
+
+Evaluators live at module level so ``multiprocessing`` can pickle them
+into pool workers.
+"""
+
+import pytest
+
+from repro.dse import EvalCache, Explorer, ParameterSpace, SweepJournal
+from repro.dse.cache import params_key
+from repro.parallel import SEED_STRIDE, derive_seed, map_ordered
+
+
+def double_eval(params):
+    return {"y": params["x"] * 2}
+
+
+def flaky_eval(params):
+    if params["x"] == 3:
+        raise RuntimeError("boom at 3")
+    return {"y": params["x"]}
+
+
+def forbidden_eval(params):
+    raise AssertionError("evaluator must not be called on a resumed point")
+
+
+def _space(values):
+    return ParameterSpace().add_axis("x", values)
+
+
+class TestParallelHelpers:
+    def test_derive_seed_matches_campaign_formula(self):
+        assert derive_seed(7, 3) == 7 * SEED_STRIDE + 3
+
+    def test_map_ordered_serial_and_parallel_agree(self):
+        payloads = [{"x": i} for i in range(6)]
+        serial = list(map_ordered(double_eval, payloads, workers=1))
+        parallel = list(map_ordered(double_eval, payloads, workers=3))
+        assert serial == parallel
+        assert [r["y"] for r in serial] == [0, 2, 4, 6, 8, 10]
+
+    def test_map_ordered_propagates_exceptions(self):
+        with pytest.raises(RuntimeError, match="boom at 3"):
+            list(map_ordered(flaky_eval, [{"x": 3}], workers=1))
+
+
+class TestWorkerDeterminism:
+    def test_reports_byte_identical_across_worker_counts(self):
+        space = _space([1, 2, 3, 4, 5])
+        explorer = Explorer(double_eval)
+        serial = explorer.sweep(space, workers=1)
+        parallel = explorer.sweep(space, workers=2)
+        assert serial.to_json() == parallel.to_json()
+        assert [p.params["x"] for p in parallel.points] == [1, 2, 3, 4, 5]
+
+    def test_run_returns_points_in_enumeration_order(self):
+        points = Explorer(double_eval).run(_space([3, 1, 2]), workers=2)
+        assert [p.params["x"] for p in points] == [3, 1, 2]
+
+
+class TestCacheIntegration:
+    def test_cold_then_warm(self, tmp_path):
+        space = _space([1, 2, 3])
+        explorer = Explorer(double_eval)
+        cold = explorer.sweep(space, cache=EvalCache(str(tmp_path), "fp"))
+        assert cold.evaluated == 3
+        assert cold.cache["stores"] == 3 and cold.cache["hits"] == 0
+        warm = explorer.sweep(space, cache=EvalCache(str(tmp_path), "fp"))
+        assert warm.evaluated == 0
+        assert warm.cache["hits"] == 3 and warm.cache["hit_rate"] == 1.0
+        assert warm.to_json() == cold.to_json()
+
+    def test_fingerprint_change_re_evaluates(self, tmp_path):
+        space = _space([1, 2])
+        explorer = Explorer(double_eval)
+        explorer.sweep(space, cache=EvalCache(str(tmp_path), "fp-old"))
+        after_edit = explorer.sweep(space, cache=EvalCache(str(tmp_path), "fp-new"))
+        assert after_edit.evaluated == 2
+        assert after_edit.cache["invalidated"] == 2
+
+    def test_errors_are_not_cached(self, tmp_path):
+        cache = EvalCache(str(tmp_path), "fp")
+        report = Explorer(flaky_eval, raise_on_error=False).sweep(
+            _space([1, 3]), cache=cache
+        )
+        assert [p.ok for p in report.points] == [True, False]
+        assert cache.stats.stores == 1
+        assert cache.get({"x": 3}) is None
+
+
+class TestResume:
+    def test_resumes_completed_points(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        explorer = Explorer(double_eval)
+        first = explorer.sweep(_space([1, 2]), journal=SweepJournal(path, "fp"))
+        assert first.evaluated == 2
+        grown = explorer.sweep(_space([1, 2, 3, 4]), journal=SweepJournal(path, "fp"))
+        assert grown.resumed == 2
+        assert grown.evaluated == 2
+        assert [p.metrics["y"] for p in grown.points] == [2, 4, 6, 8]
+
+    def test_fully_journaled_sweep_never_calls_evaluator(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        Explorer(double_eval).sweep(_space([1, 2]), journal=SweepJournal(path, "fp"))
+        replay = Explorer(forbidden_eval).sweep(
+            _space([1, 2]), journal=SweepJournal(path, "fp")
+        )
+        assert replay.resumed == 2 and replay.evaluated == 0
+        assert [p.metrics["y"] for p in replay.points] == [2, 4]
+
+    def test_resume_after_kill(self, tmp_path):
+        """A journal with a torn tail (killed mid-write) still resumes."""
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(str(path), "fp")
+        journal.record(params_key({"x": 1}), {"x": 1}, {"y": 2}, None)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn')
+        report = Explorer(double_eval).sweep(
+            _space([1, 2, 3]), journal=SweepJournal(str(path), "fp")
+        )
+        assert report.resumed == 1
+        assert report.evaluated == 2
+        assert [p.metrics["y"] for p in report.points] == [2, 4, 6]
+
+    def test_journal_and_cache_compose(self, tmp_path):
+        cache = EvalCache(str(tmp_path / "cache"), "fp")
+        Explorer(double_eval).sweep(_space([1, 2]), cache=cache)
+        # New sweep, fresh journal: cache hits are recorded into the
+        # journal so a later resume needs neither cache nor simulation.
+        path = str(tmp_path / "sweep.jsonl")
+        mixed = Explorer(double_eval).sweep(
+            _space([1, 2, 3]),
+            cache=EvalCache(str(tmp_path / "cache"), "fp"),
+            journal=SweepJournal(path, "fp"),
+        )
+        assert mixed.evaluated == 1 and mixed.cache["hits"] == 2
+        replay = Explorer(forbidden_eval).sweep(
+            _space([1, 2, 3]), journal=SweepJournal(path, "fp")
+        )
+        assert replay.resumed == 3
+
+
+class TestPartialResults:
+    def test_serial_raise_attaches_completed_prefix(self):
+        with pytest.raises(RuntimeError, match="boom at 3") as excinfo:
+            Explorer(flaky_eval).run(_space([1, 2, 3, 4]))
+        partial = excinfo.value.partial_points
+        assert [p.params["x"] for p in partial] == [1, 2]
+        assert all(p.ok for p in partial)
+
+    def test_parallel_raise_attaches_completed_prefix(self):
+        with pytest.raises(RuntimeError, match="boom at 3") as excinfo:
+            Explorer(flaky_eval).run(_space([1, 2, 3, 4]), workers=2)
+        assert [p.params["x"] for p in excinfo.value.partial_points] == [1, 2]
+
+    def test_raise_still_journals_completed_points(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with pytest.raises(RuntimeError):
+            Explorer(flaky_eval).run(
+                _space([1, 2, 3]), journal=SweepJournal(path, "fp")
+            )
+        assert len(SweepJournal(path, "fp")) == 2
+
+
+class TestSweepReport:
+    def test_json_excludes_volatile_provenance(self, tmp_path):
+        report = Explorer(double_eval).sweep(
+            _space([1]), workers=2, cache=EvalCache(str(tmp_path), "fp")
+        )
+        assert report.workers == 2 and report.cache is not None
+        assert '"workers"' not in report.to_json()
+        assert '"cache"' not in report.to_json()
+
+    def test_render_surfaces_counters_and_table(self, tmp_path):
+        cache = EvalCache(str(tmp_path), "fp")
+        Explorer(double_eval).sweep(_space([1, 2]), cache=cache)
+        warm = Explorer(double_eval).sweep(
+            _space([1, 2]), cache=EvalCache(str(tmp_path), "fp")
+        )
+        text = warm.render(title="t")
+        assert "cache-hits=2" in text
+        assert "hit rate 100%" in text
+        assert "| y" in text or "y " in text

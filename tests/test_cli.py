@@ -62,6 +62,41 @@ class TestCommands:
         assert content.startswith("tech,workload")
         assert "morphosys" in content
 
+    def test_sweep_parallel_cached_check(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--techs", "asic,morphosys",
+            "--workloads", "interleaved",
+            "--accels", "fir,xtea",
+            "--frames", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--workers", "2",
+            "--check",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert '"schema": "dse-sweep/v1"' in first
+        # Second run: byte-identical JSON, now served from the cache.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_resume_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        base = [
+            "sweep",
+            "--workloads", "interleaved",
+            "--accels", "fir,xtea",
+            "--frames", "1",
+            "--resume", journal,
+        ]
+        assert main(base + ["--techs", "asic"]) == 0
+        assert "evaluated=1" in capsys.readouterr().out
+        # Growing the grid resumes the completed point from the journal.
+        assert main(base + ["--techs", "asic,morphosys"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed=1" in out and "evaluated=1" in out
+
     def test_flow(self, capsys):
         code = main(
             ["flow", "--accels", "fir,fft", "--tech", "varicore", "--frames", "1",

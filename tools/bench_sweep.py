@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""DSE sweep harness: measure, record and police the sweep engine.
+
+Section 5.5's argument is that system-level DSE is only practical when
+re-evaluating the design space is cheap.  This harness times the same
+technology/workload grid (the E6-style sweep) through the three execution
+modes of :meth:`repro.dse.Explorer.sweep` and records the results in
+``BENCH_sweep.json`` at the repository root:
+
+``serial_cold``
+    ``workers=1``, no cache — the pre-PR baseline: every point simulates.
+``parallel_cold``
+    ``workers=4``, no cache — the process-pool fan-out alone.
+``parallel_cached``
+    ``workers=4`` against a warmed evaluation cache — the steady state of
+    iterative DSE, where almost every point is a cache hit.
+
+Every mode must produce byte-identical report JSON (the sweep engine's
+core promise); the harness fails otherwise.  The warmed run must also hit
+the cache on at least 90% of its points.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sweep.py            # run + report
+    PYTHONPATH=src python tools/bench_sweep.py --write    # refresh BENCH_sweep.json
+    PYTHONPATH=src python tools/bench_sweep.py --check    # CI smoke (quick grid,
+                                                          # determinism + cache only)
+    PYTHONPATH=src python tools/bench_sweep.py --quick    # small grid sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, Optional
+
+if __name__ == "__main__" and __package__ is None:
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.dse import (
+    EvalCache,
+    Explorer,
+    ParameterSpace,
+    evaluate_architecture,
+    evaluator_fingerprint,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_sweep.json")
+SCHEMA = "bench-sweep/v1"
+WORKERS = 4
+
+#: The warmed run must serve at least this fraction of points from cache.
+MIN_HIT_RATE = 0.90
+
+#: (techs, workloads, n_frames) of the measured grid and the CI quick grid.
+FULL_GRID = (("asic", "virtex2pro", "varicore", "morphosys"), ("interleaved", "batched"), 4)
+QUICK_GRID = (("asic", "virtex2pro", "morphosys"), ("interleaved",), 1)
+
+
+def build_space(grid) -> ParameterSpace:
+    techs, workloads, n_frames = grid
+    return (
+        ParameterSpace()
+        .add_axis("tech", list(techs))
+        .add_axis("workload", list(workloads))
+        .add_axis("n_frames", [n_frames])
+    )
+
+
+def measure(grid) -> Dict[str, object]:
+    """Time the three execution modes on one grid; verify determinism."""
+    explorer = Explorer(evaluate_architecture)
+    space = build_space(grid)
+    fingerprint = evaluator_fingerprint(evaluate_architecture)
+    cache_dir = tempfile.mkdtemp(prefix="bench-sweep-cache-")
+    try:
+        t0 = time.perf_counter()
+        serial = explorer.sweep(space, workers=1)
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parallel = explorer.sweep(space, workers=WORKERS)
+        parallel_s = time.perf_counter() - t0
+
+        # Warm the cache (parallel, timing irrelevant), then measure the
+        # steady state every iterative DSE session lives in.
+        warm_cache = EvalCache(cache_dir, fingerprint)
+        warmed = explorer.sweep(space, workers=WORKERS, cache=warm_cache)
+        cached_cache = EvalCache(cache_dir, fingerprint)
+        t0 = time.perf_counter()
+        cached = explorer.sweep(space, workers=WORKERS, cache=cached_cache)
+        cached_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    reports = {
+        "serial_cold": serial,
+        "parallel_cold": parallel,
+        "warm_store": warmed,
+        "parallel_cached": cached,
+    }
+    reference = serial.to_json()
+    mismatched = [name for name, rep in reports.items() if rep.to_json() != reference]
+    hit_rate = cached.cache["hit_rate"] or 0.0
+    return {
+        "n_points": len(serial.points),
+        "techs": list(grid[0]),
+        "workloads": list(grid[1]),
+        "n_frames": grid[2],
+        "workers": WORKERS,
+        # Pool fan-out only pays off with real cores; record how many this
+        # machine had so the parallel_cold figure is interpretable.
+        "cpus": os.cpu_count(),
+        "serial_cold_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "parallel_cached_s": round(cached_s, 3),
+        "speedup_parallel_cold": round(serial_s / parallel_s, 2),
+        "speedup_parallel_cached": round(serial_s / cached_s, 2),
+        "cache_hit_rate": round(hit_rate, 3),
+        "byte_identical": not mismatched,
+        "mismatched_modes": mismatched,
+    }
+
+
+def report(results: Dict[str, object], baseline: Optional[dict]) -> None:
+    print(
+        f"grid: {results['n_points']} points "
+        f"({','.join(results['techs'])} x {','.join(results['workloads'])} "
+        f"x {results['n_frames']} frames), {results['workers']} workers"
+    )
+    print(f"{'mode':>16} {'seconds':>9} {'vs serial':>10}")
+    print("-" * 38)
+    for mode in ("serial_cold", "parallel_cold", "parallel_cached"):
+        seconds = results[f"{mode}_s"]
+        speedup = results["serial_cold_s"] / seconds if seconds else float("inf")
+        print(f"{mode:>16} {seconds:>9.3f} {speedup:>9.2f}x")
+    print(
+        f"cache hit rate (warmed run): {results['cache_hit_rate']:.0%}   "
+        f"byte-identical across modes: {'yes' if results['byte_identical'] else 'NO'}"
+    )
+    committed = (baseline or {}).get("results")
+    if committed:
+        print(
+            "committed: serial={serial_cold_s}s cached={parallel_cached_s}s "
+            "(speedup {speedup_parallel_cached}x)".format(**committed)
+        )
+
+
+def check(results: Dict[str, object]) -> int:
+    """CI smoke: fail on any determinism or cache-effectiveness breach.
+
+    Deliberately timing-free — shared CI runners make wall-clock
+    thresholds flaky; the recorded speedups live in BENCH_sweep.json.
+    """
+    failures = []
+    if not results["byte_identical"]:
+        failures.append(
+            f"  sweep reports differ across modes: {results['mismatched_modes']}"
+        )
+    if results["cache_hit_rate"] < MIN_HIT_RATE:
+        failures.append(
+            f"  warmed-cache hit rate {results['cache_hit_rate']:.0%} < "
+            f"{MIN_HIT_RATE:.0%}"
+        )
+    if failures:
+        print("check: SWEEP ENGINE REGRESSION:")
+        print("\n".join(failures))
+        return 1
+    print(
+        f"check: ok — {results['n_points']} points byte-identical across "
+        f"serial/parallel/cached modes, "
+        f"{results['cache_hit_rate']:.0%} cache hits when warmed"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="path of BENCH_sweep.json (default: repo root)")
+    parser.add_argument("--write", action="store_true",
+                        help="write the measured numbers to the baseline file")
+    parser.add_argument("--check", action="store_true",
+                        help="CI smoke: quick grid, determinism + cache checks only")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the small quick grid")
+    args = parser.parse_args(argv)
+
+    results = measure(QUICK_GRID if (args.check or args.quick) else FULL_GRID)
+    if args.check:
+        return check(results)
+    baseline = None
+    if os.path.exists(args.baseline):
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    report(results, baseline)
+    if not results["byte_identical"]:
+        return 1
+    if args.write:
+        doc = {
+            "schema": SCHEMA,
+            "generated_by": "tools/bench_sweep.py --write",
+            "python": platform.python_version(),
+            "results": results,
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,28 +9,36 @@
 #   3. ruff check (skipped with a notice when ruff is not installed)
 #   4. static model lint over every example architecture (must be clean)
 #   5. fault-campaign smoke: seeded campaign must reproduce byte-for-byte
+#   6. DSE sweep smoke: parallel + cached sweeps must be byte-identical to
+#      serial re-runs (workers 1 and 2), and the warmed cache must hit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/5 tier-1 tests =="
+echo "== 1/6 tier-1 tests =="
 python -m pytest tests -q
 
-echo "== 2/5 kernel throughput check =="
+echo "== 2/6 kernel throughput check =="
 python tools/bench_kernel.py --check
 
-echo "== 3/5 ruff =="
+echo "== 3/6 ruff =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests tools examples
 else
     echo "ruff not installed; skipping (config lives in pyproject.toml)"
 fi
 
-echo "== 4/5 static model lint over examples/ =="
+echo "== 4/6 static model lint over examples/ =="
 python -m repro lint examples/*.py
 
-echo "== 5/5 fault-campaign reproducibility smoke =="
+echo "== 5/6 fault-campaign reproducibility smoke =="
 python -m repro inject --builtin modem --trials 8 --seed 7 --check
+
+echo "== 6/6 DSE sweep reproducibility smoke =="
+SWEEP_ARGS="--techs asic,morphosys --workloads interleaved --accels fir,xtea --frames 1"
+python -m repro sweep $SWEEP_ARGS --workers 1 --check --json > /dev/null
+python -m repro sweep $SWEEP_ARGS --workers 2 --check --json > /dev/null
+python tools/bench_sweep.py --check
 
 echo "ci_check: all gates passed"

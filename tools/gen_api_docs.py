@@ -17,6 +17,7 @@ import sys
 
 PACKAGES = [
     "repro.kernel",
+    "repro.parallel",
     "repro.bus",
     "repro.cpu",
     "repro.core",
