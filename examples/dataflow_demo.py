@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Process-body dataflow analysis: races, dead waits, and their confirmation.
+
+The netlist-level linter (see ``lint_demo.py``) checks the *structure* of
+an architecture.  The opt-in dataflow layer looks one level deeper — into
+the **process bodies** themselves: each registered SC_THREAD/SC_METHOD
+function is parsed with the Python ``ast`` module into an effect summary
+(which signals it reads and writes, which events it waits on and
+notifies), and the REP4xx rules check the resulting design-level graph:
+
+* REP401 — two writers of one signal runnable in the same delta cycle;
+* REP402 — a method reading a signal missing from its sensitivity list;
+* REP403 — method processes retriggering each other in a loop;
+* REP404 — a ``yield`` inside a method process (the body never runs);
+* REP405 — a wait on an event nothing ever notifies.
+
+Static findings are *possibilities*; the dynamic cross-check turns them
+into evidence.  ``cross_check`` elaborates the netlist fresh, instruments
+the raced signals, runs a short bounded simulation, and tags each
+REP401/REP405 finding ``confirmed`` or ``unconfirmed``.
+
+The same analysis runs from the command line:
+
+    python -m repro lint examples/dataflow_demo.py --dataflow
+    python -m repro lint examples/dataflow_demo.py --confirm
+
+Run:  python examples/dataflow_demo.py
+"""
+
+from repro.analysis import cross_check, run_lint
+from repro.apps import make_reconfigurable_netlist
+from repro.core import Netlist
+from repro.kernel import Event, Module, Signal, ns
+from repro.tech import VIRTEX2PRO
+
+
+def build_netlist():
+    """A healthy architecture (`repro lint` entry) — REP4xx-clean."""
+    return make_reconfigurable_netlist(("fir", "fft"), tech=VIRTEX2PRO)
+
+
+class RacyStatus(Module):
+    """Two always-runnable threads drive one status flag (REP401): the
+    committed value depends on scheduler evaluation order."""
+
+    def __init__(self, name, parent=None, sim=None):
+        super().__init__(name, parent=parent, sim=sim)
+        self.status = Signal(self.sim, 0, name=f"{self.full_name}.status")
+        self.add_thread(self.monitor_a, name="monitor_a")
+        self.add_thread(self.monitor_b, name="monitor_b")
+
+    def monitor_a(self):
+        while True:
+            self.status.write(1)
+            yield ns(100)
+
+    def monitor_b(self):
+        while True:
+            self.status.write(2)
+            yield ns(100)
+
+
+class ForgottenHandshake(Module):
+    """A consumer waits for a ``ready`` event the producer forgot to
+    notify (REP405): the consumer is dead from its first wait on."""
+
+    def __init__(self, name, parent=None, sim=None):
+        super().__init__(name, parent=parent, sim=sim)
+        self.ready = Event(self.sim, f"{self.full_name}.ready")
+        self.data = Signal(self.sim, 0, name=f"{self.full_name}.data")
+        self.add_thread(self.producer, name="producer")
+        self.add_thread(self.consumer, name="consumer")
+
+    def producer(self):
+        self.data.write(42)
+        yield ns(10)
+        # BUG: should call self.ready.notify() here
+
+    def consumer(self):
+        yield self.ready
+        self.data.read()
+
+
+def broken_netlist():
+    netlist = Netlist("demo")
+    netlist.add("racy", RacyStatus)
+    netlist.add("handshake", ForgottenHandshake)
+    return netlist
+
+
+def main() -> None:
+    print("=== healthy architecture (dataflow layer on) ===")
+    netlist, _ = build_netlist()
+    print(run_lint(netlist, dataflow=True).render())
+    print()
+
+    print("=== seeded race + dead wait (static findings) ===")
+    broken = broken_netlist()
+    report = run_lint(broken, dataflow=True)
+    print(report.render())
+    print()
+
+    print("=== dynamic cross-check of the findings ===")
+    statuses = cross_check(broken, report.diagnostics)
+    for (code, location), status in sorted(statuses.items()):
+        print(f"{code} {location}: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
 """Post-run analysis: metric aggregation, deadlock diagnosis, static lint."""
 
+from .dataflow import DesignDataflow, ProcessSummary, SignalUse, cross_check, summarize_process
 from .deadlock import BlockedProcess, DeadlockReport, diagnose, watchdog_report
 from .lint import (
     DEADLOCK_RULE_CODE,
@@ -19,19 +20,24 @@ __all__ = [
     "BlockedProcess",
     "DEADLOCK_RULE_CODE",
     "DeadlockReport",
+    "DesignDataflow",
     "Diagnostic",
     "LintContext",
     "LintReport",
+    "ProcessSummary",
     "RULES",
     "Rule",
     "RunReport",
+    "SignalUse",
     "all_rule_codes",
     "collect_run_metrics",
+    "cross_check",
     "diagnose",
     "per_context_rows",
     "register_rule",
     "rule",
     "run_lint",
     "speedup",
+    "summarize_process",
     "watchdog_report",
 ]

@@ -34,16 +34,15 @@ Entry point: :func:`run_lint` (also ``python -m repro lint``).
 
 from __future__ import annotations
 
-import ast
 import inspect
-import textwrap
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..bus import Bus, BusMasterIf, BusSlaveIf
 from ..core.drcf import Drcf
 from ..core.netlist import ComponentSpec, ElaboratedDesign, Netlist
-from ..kernel import Module, Simulator, ports_of, processes_of, signals_of
+from ..kernel import Module, Simulator, ports_of
+from .dataflow import DesignDataflow
 
 #: The code of the limitation-3 (blocking-bus deadlock) precondition rule.
 #: The runtime deadlock diagnosis (:mod:`repro.analysis.deadlock`) cross-
@@ -56,7 +55,9 @@ SEVERITIES = ("error", "warning", "info")
 
 #: Rule layers, in the order the engine runs them.  ``meta`` rules are
 #: emitted by the engine itself (elaboration/rule failures), not checked.
-LAYERS = ("netlist", "transform", "design", "drcf", "meta")
+#: The ``dataflow`` layer (REP4xx, process-body analysis) is opt-in:
+#: :func:`run_lint` only runs it with ``dataflow=True``.
+LAYERS = ("netlist", "transform", "design", "drcf", "dataflow", "meta")
 
 
 # --------------------------------------------------------------------------
@@ -198,6 +199,19 @@ class LintContext:
     top: Optional[Module] = None
     candidates: Optional[List[str]] = None
     config_memory: Optional[str] = None
+    _dataflow: Optional[DesignDataflow] = field(default=None, repr=False)
+
+    def dataflow_analysis(self) -> DesignDataflow:
+        """The process-body dataflow analysis of the elaborated design.
+
+        Built on first use and cached for the rest of the run: REP204 and
+        every REP4xx rule share one AST pass over the design.
+        """
+        if self._dataflow is None:
+            if self.top is None:
+                raise ValueError("no elaborated design to analyze")
+            self._dataflow = DesignDataflow(self.top)
+        return self._dataflow
 
 
 # --------------------------------------------------------------------------
@@ -267,6 +281,7 @@ def run_lint(
     candidates: Optional[Sequence[str]] = None,
     config_memory: Optional[str] = None,
     elaborate: bool = True,
+    dataflow: bool = False,
     select: Union[str, Iterable[str], None] = None,
     ignore: Union[str, Iterable[str], None] = None,
 ) -> LintReport:
@@ -288,6 +303,9 @@ def run_lint(
         them enables the transform-precondition rules (REP304-REP306).
     elaborate:
         Set False to run only the pre-elaboration layers.
+    dataflow:
+        Set True to also run the process-body dataflow rules (REP4xx);
+        they parse every process function, so they are opt-in.
     select, ignore:
         Code prefixes (comma-separated string or iterable) enabling or
         suppressing rules; ``ignore`` wins over ``select``.
@@ -323,6 +341,21 @@ def run_lint(
     if ctx.top is not None:
         _run_layer("design", ctx, select_list, ignore_list, diagnostics)
         _run_layer("drcf", ctx, select_list, ignore_list, diagnostics)
+        if dataflow:
+            try:
+                ctx.dataflow_analysis()
+            except Exception as exc:
+                if _enabled("REP001", select_list, ignore_list):
+                    diagnostics.append(
+                        Diagnostic(
+                            "REP001",
+                            "error",
+                            f"dataflow analysis failed: {exc}",
+                            location="dataflow",
+                        )
+                    )
+            else:
+                _run_layer("dataflow", ctx, select_list, ignore_list, diagnostics)
     diagnostics.sort(key=lambda d: (d.code, d.location, d.message))
     return LintReport(diagnostics)
 
@@ -671,58 +704,26 @@ def _check_port_interfaces(ctx: LintContext) -> Iterator[CheckResult]:
                 )
 
 
-def _signal_writers(module: Module) -> Dict[str, List[str]]:
-    """Map signal attribute -> names of this module's processes writing it.
-
-    Static approximation: parses each process function's source for
-    ``self.<attr>.write(...)`` calls and matches ``<attr>`` against the
-    module's :func:`~repro.kernel.signals_of` attributes.  Only methods
-    bound to the module itself are inspected, so a shared helper written
-    against another object never miscounts.
-    """
-    signals = signals_of(module)
-    if not signals:
-        return {}
-    writers: Dict[str, List[str]] = {}
-    for process in processes_of(module):
-        fn = getattr(process, "fn", None)
-        if fn is None or getattr(fn, "__self__", None) is not module:
-            continue
-        try:
-            tree = ast.parse(textwrap.dedent(inspect.getsource(fn)))
-        except (OSError, TypeError, SyntaxError):
-            continue
-        touched = set()
-        for node in ast.walk(tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "write"
-                and isinstance(node.func.value, ast.Attribute)
-                and isinstance(node.func.value.value, ast.Name)
-                and node.func.value.value.id == "self"
-                and node.func.value.attr in signals
-            ):
-                touched.add(node.func.value.attr)
-        name = getattr(process, "name", repr(process))
-        for attr in touched:
-            writers.setdefault(attr, []).append(name)
-    return writers
-
-
 @rule("REP204", layer="design", severity="warning", summary="signal written by several processes")
 def _check_multi_writer_signals(ctx: LintContext) -> Iterator[CheckResult]:
     """``sc_signal`` semantics assume one writer; two racing writers make
-    the committed value depend on evaluation order within a delta."""
-    for module in _modules_of(ctx.top):
-        for attr, names in sorted(_signal_writers(module).items()):
-            if len(names) >= 2:
-                yield (
-                    f"{module.full_name}.{attr}",
-                    f"signal is written by {len(names)} processes: "
-                    f"{', '.join(sorted(names))}",
-                    "give each signal a single writer (or merge the processes)",
-                )
+    the committed value depend on evaluation order within a delta.
+
+    Uses the design-wide dataflow analysis, which resolves writes through
+    port binding chains — a process driving another module's signal via a
+    bound port counts against that signal, so cross-module double-drivers
+    are reported too.  (REP401, in the opt-in dataflow layer, sharpens
+    this heuristic by proving the writers can race in one delta.)
+    """
+    analysis = ctx.dataflow_analysis()
+    for use in analysis.signal_uses():
+        names = sorted({writer.name for writer in use.writers})
+        if len(names) >= 2:
+            yield (
+                use.label,
+                f"signal is written by {len(names)} processes: {', '.join(names)}",
+                "give each signal a single writer (or merge the processes)",
+            )
 
 
 @rule("REP205", layer="design", summary="elaborated bus has invalid or overlapping slaves")
@@ -891,3 +892,192 @@ def _check_context_params(ctx: LintContext) -> Iterator[CheckResult]:
                     f"configuration address {params.config_addr} is negative",
                     "allocate the bitstream at a non-negative address",
                 )
+
+
+# --------------------------------------------------------------------------
+# Dataflow-layer rules (process-body analysis; opt-in via run_lint(dataflow=True))
+# --------------------------------------------------------------------------
+
+@rule("REP401", layer="dataflow", summary="same-delta multi-driver race")
+def _check_same_delta_race(ctx: LintContext) -> Iterator[CheckResult]:
+    """Sharpens REP204: two writers of one signal that can be *runnable in
+    the same delta cycle* (both run at start, or share an activation event)
+    make the committed value depend on evaluation order — a genuine race,
+    not just a style warning."""
+    analysis = ctx.dataflow_analysis()
+    for use in analysis.signal_uses():
+        if len(use.writers) < 2:
+            continue
+        reported = set()
+        for i, a in enumerate(use.writers):
+            for b in use.writers[i + 1:]:
+                if a.process is b.process:
+                    continue
+                reason = analysis.corunnable(a, b)
+                if reason is None:
+                    continue
+                pair = tuple(sorted((a.name, b.name)))
+                if pair in reported:
+                    continue
+                reported.add(pair)
+                yield (
+                    use.label,
+                    f"processes {pair[0]!r} and {pair[1]!r} can both write "
+                    f"this signal in the same delta cycle ({reason}); the "
+                    "committed value depends on evaluation order",
+                    "give the signal a single driver, or make the writers "
+                    "mutually exclusive (disjoint activation events)",
+                )
+
+
+@rule(
+    "REP402",
+    layer="dataflow",
+    severity="warning",
+    summary="method process reads a signal missing from its sensitivity list",
+)
+def _check_method_sensitivity(ctx: LintContext) -> Iterator[CheckResult]:
+    """An SC_METHOD that reads a signal it is not sensitive to does not
+    re-evaluate when that input changes, so its output goes stale.  Signals
+    the method itself writes are exempt (reading your own output is state
+    feedback, and being sensitive to it would be REP403's loop)."""
+    analysis = ctx.dataflow_analysis()
+    for summary in analysis.summaries:
+        if summary.kind != "method":
+            continue
+        sensitivity_ids = {id(e) for e in getattr(summary.process, "static_sensitivity", ())}
+        written_ids = {id(sig) for sig in summary.signal_writes}
+        for sig in summary.signal_reads:
+            if id(sig) in written_ids:
+                continue
+            if any(id(event) in sensitivity_ids for event in sig.events()):
+                continue
+            yield (
+                summary.name,
+                f"method process reads signal {analysis.signal_label(sig)} "
+                "but is not sensitive to it; the method will not re-run when "
+                "the signal changes",
+                "add the signal's value_changed (or edge) event to the "
+                "method's sensitivity list",
+            )
+
+
+@rule(
+    "REP403",
+    layer="dataflow",
+    severity="warning",
+    summary="combinational loop through method processes",
+)
+def _check_combinational_loop(ctx: LintContext) -> Iterator[CheckResult]:
+    """Method processes whose write -> sensitivity edges form a cycle keep
+    re-triggering each other within one instant; at best the value churns
+    through deltas, at worst the run dies on the per-instant delta guard."""
+    analysis = ctx.dataflow_analysis()
+    for cycle in analysis.method_cycles():
+        names = sorted(summary.name for summary in cycle)
+        yield (
+            names[0],
+            "method processes form a combinational loop (each writes a "
+            f"signal another is sensitive to): {', '.join(names)}",
+            "break the cycle with a clocked thread process, or drop the "
+            "feedback signal from a sensitivity list",
+        )
+
+
+@rule("REP404", layer="dataflow", summary="yield inside a method process")
+def _check_method_yield(ctx: LintContext) -> Iterator[CheckResult]:
+    """SC_METHODs must not block.  In this kernel a ``yield`` makes the
+    registered callback a generator function: calling it returns a
+    generator the scheduler never iterates, so the body *silently never
+    executes* — worse than a crash."""
+    analysis = ctx.dataflow_analysis()
+    for summary in analysis.summaries:
+        if summary.kind == "method" and summary.yields_in_body:
+            yield (
+                summary.name,
+                "method process body contains yield / yield from; calling it "
+                "returns a generator the kernel never iterates, so the body "
+                "silently does nothing",
+                "register the function with add_thread, or stay non-blocking "
+                "and use next_trigger() for dynamic sensitivity",
+            )
+
+
+@rule("REP405", layer="dataflow", summary="wait on an event nothing ever notifies")
+def _check_dead_wait(ctx: LintContext) -> Iterator[CheckResult]:
+    """A process waiting on an event that no process or interface method in
+    the design ever notifies can never resume — REP310's deadlock class
+    (paper Section 5.4), proven at the process level.  Signal-derived and
+    kernel-notified (terminated) events are exempt, and the rule stays
+    silent if any notify call escaped the static analysis (it could target
+    any event)."""
+    analysis = ctx.dataflow_analysis()
+    notified_ids, unresolved = analysis.notify_scan()
+    if unresolved:
+        return
+    for summary in analysis.summaries:
+        for event in summary.waited_events:
+            event_id = id(event)
+            if (
+                event_id in notified_ids
+                or analysis.is_signal_event(event_id)
+                or analysis.is_terminated_event(event_id)
+            ):
+                continue
+            yield (
+                analysis.event_label(event),
+                f"process {summary.name!r} waits on event "
+                f"{analysis.event_label(event)}, which nothing in the design "
+                "ever notifies; the wait can never complete",
+                "notify the event from some process or interface method, or "
+                "remove the dead wait",
+            )
+
+
+@rule(
+    "REP406",
+    layer="dataflow",
+    severity="warning",
+    summary="DRCF unreachable from any bus master",
+)
+def _check_drcf_reachable(ctx: LintContext) -> Iterator[CheckResult]:
+    """A fabric whose slave interface no master port can reach is dead
+    logic: its contexts' interface methods are statically unreachable, so
+    no context switch (the whole point of the transformation) ever runs."""
+    top = ctx.top
+    drcfs = list(_drcfs_of(top))
+    if not drcfs:
+        return
+    masters_of: Dict[int, List[object]] = {}
+    for module in _modules_of(top):
+        for port in ports_of(module):
+            _, impl = port.binding_chain()
+            if isinstance(impl, Bus):
+                masters_of.setdefault(id(impl), []).append(port)
+    buses = [m for m in _modules_of(top) if isinstance(m, Bus)]
+    for drcf in drcfs:
+        context_names = ", ".join(c.name for c in drcf.contexts) or "none"
+        hosting = [bus for bus in buses if any(s is drcf for s in bus.slaves)]
+        if not hosting:
+            yield (
+                drcf.full_name,
+                "fabric is not registered as a slave of any bus; its context "
+                f"interface methods (contexts: {context_names}) are "
+                "unreachable from any master",
+                "register the fabric on a bus (slave_of in the netlist)",
+            )
+            continue
+        reachable = any(
+            port is not drcf.mst_port and port.owner is not drcf
+            for bus in hosting
+            for port in masters_of.get(id(bus), ())
+        )
+        if not reachable:
+            bus_names = " / ".join(bus.full_name for bus in hosting)
+            yield (
+                drcf.full_name,
+                f"no master port other than the fabric's own config port "
+                f"reaches bus {bus_names}; context interface methods "
+                f"(contexts: {context_names}) are statically unreachable",
+                "attach a master (e.g. a CPU) to the fabric's bus",
+            )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .apps.soc import ACCELERATOR_CLASSES
 from .tech import PRESETS
@@ -157,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-elaborate",
         action="store_true",
         help="pre-elaboration rules only (skip design/DRCF layers)",
+    )
+    lint.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the process-body dataflow rules (REP4xx)",
+    )
+    lint.add_argument(
+        "--confirm",
+        action="store_true",
+        help=(
+            "dynamically cross-check REP401/REP405 findings with a short "
+            "bounded simulation (implies --dataflow)"
+        ),
     )
 
     inject = sub.add_parser(
@@ -575,35 +588,62 @@ def cmd_lint(args) -> int:
             print("error: nothing to lint", file=sys.stderr)
         return 2
 
+    dataflow = args.dataflow or args.confirm
     reports = [
         (
             label,
+            netlist,
             run_lint(
                 netlist,
                 elaborate=not args.no_elaborate,
+                dataflow=dataflow,
                 select=args.select,
                 ignore=args.ignore,
             ),
         )
         for label, netlist in targets
     ]
-    errors = sum(len(report.errors) for _, report in reports)
-    warnings = sum(len(report.warnings) for _, report in reports)
+    confirmations: Dict[str, Dict[tuple, str]] = {}
+    if args.confirm:
+        from .analysis.dataflow import cross_check
+
+        for label, netlist, report in reports:
+            confirmations[label] = cross_check(netlist, report.diagnostics)
+    errors = sum(len(report.errors) for _, _, report in reports)
+    warnings = sum(len(report.warnings) for _, _, report in reports)
     if args.json:
-        payload = [
-            {
-                "netlist": label,
-                "errors": len(report.errors),
-                "warnings": len(report.warnings),
-                "diagnostics": report.to_dicts(),
-            }
-            for label, report in reports
-        ]
+        payload = []
+        for label, _, report in reports:
+            statuses = confirmations.get(label, {})
+            diagnostics = []
+            # run_lint already sorts by (code, location, message), so the
+            # emitted order is stable across runs and byte-comparable in CI.
+            for diag in report.diagnostics:
+                entry = diag.to_dict()
+                status = statuses.get((diag.code, diag.location))
+                if status is not None:
+                    entry["confirmed"] = status == "confirmed"
+                diagnostics.append(entry)
+            payload.append(
+                {
+                    "netlist": label,
+                    "errors": len(report.errors),
+                    "warnings": len(report.warnings),
+                    "summary": {
+                        "error": len(report.errors),
+                        "warning": len(report.warnings),
+                        "info": len(report.infos),
+                    },
+                    "diagnostics": diagnostics,
+                }
+            )
         print(json.dumps(payload, indent=2))
     else:
-        for label, report in reports:
+        for label, _, report in reports:
             print(f"== {label} ==")
             print(report.render())
+            for (code, location), status in sorted(confirmations.get(label, {}).items()):
+                print(f"confirm {code} {location}: {status} (dynamic cross-check)")
             print()
         print(
             f"linted {len(reports)} netlist(s): {errors} error(s), "

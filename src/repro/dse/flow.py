@@ -145,7 +145,7 @@ class AdriaticFlow:
         # before anything simulates: a template that fails the model lint
         # would waste every later stage.
         baseline, info = make_baseline_netlist(self.accels)
-        baseline_lint = run_lint(baseline)
+        baseline_lint = run_lint(baseline, dataflow=True)
         if baseline_lint.has_errors:
             raise SimulationError(
                 f"stage-2 architecture template fails lint:\n{baseline_lint.render()}"
@@ -192,7 +192,10 @@ class AdriaticFlow:
                 config_base=info.cfg_base,
             )
             info.drcf_name = transform.report.drcf_name
-            mapped_lint = run_lint(transform.netlist)
+            # The dataflow layer (REP4xx) runs on both elaborating gates:
+            # the generated DRCF's process bodies are exactly the machine-
+            # written code the static races/dead-waits analysis is for.
+            mapped_lint = run_lint(transform.netlist, dataflow=True)
             if mapped_lint.has_errors:
                 raise SimulationError(
                     f"stage-4 mapped netlist fails lint:\n{mapped_lint.render()}"

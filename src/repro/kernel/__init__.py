@@ -41,7 +41,7 @@ from .errors import (
     SchedulingError,
     SimulationError,
 )
-from .event import Event
+from .event import Event, events_of
 from .module import Module, processes_of
 from .ports import Interface, Port, implemented_interfaces, ports_of
 from .process import TIMEOUT, AllOf, AnyOf, MethodProcess, ProcessState, ThreadProcess
@@ -82,6 +82,7 @@ __all__ = [
     "VcdTracer",
     "ZERO_TIME",
     "cycles_to_time",
+    "events_of",
     "fs",
     "implemented_interfaces",
     "ms",

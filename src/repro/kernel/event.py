@@ -208,3 +208,20 @@ class Event:
 
     def __repr__(self) -> str:
         return f"Event({self.name!r})"
+
+
+def events_of(module: object) -> "Dict[str, Event]":
+    """Events held in attributes of ``module``, keyed by attribute name.
+
+    The event third of the introspection API (``ports_of``/``signals_of``
+    are the other two): modules do not register their events anywhere, so
+    this scans the instance attributes — sufficient for the idiomatic
+    ``self.done = Event(...)`` declaration style, and what the process
+    dataflow analysis (:mod:`repro.analysis.dataflow`) uses to resolve
+    waited/notified events to their owning module.
+    """
+    found: Dict[str, Event] = {}
+    for attr, value in vars(module).items():
+        if isinstance(value, Event):
+            found[attr] = value
+    return found

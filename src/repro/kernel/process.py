@@ -205,6 +205,10 @@ _TERMINATED = ProcessState.TERMINATED
 class Process:
     """Common behaviour of thread and method processes."""
 
+    #: ``"thread"`` or ``"method"`` on the concrete subclasses; analyses
+    #: branch on this instead of isinstance checks.
+    kind = "process"
+
     __slots__ = (
         "sim",
         "name",
@@ -296,7 +300,14 @@ class ThreadProcess(Process):
     accepted and runs once to completion at start.
     """
 
+    kind = "thread"
+
     __slots__ = ("_fn", "_gen", "_handle", "_resume_value", "_wait_handle")
+
+    @property
+    def runs_at_start(self) -> bool:
+        """Threads are always runnable in the first evaluation phase."""
+        return True
 
     def __init__(self, sim: "Simulator", name: str, fn: Callable[[], object]) -> None:
         super().__init__(sim, name)
@@ -453,7 +464,14 @@ class MethodProcess(Process):
     exactly as in SystemC 2.0.
     """
 
+    kind = "method"
+
     __slots__ = ("_fn", "_initialize", "_queued", "_dynamic", "_pending_trigger")
+
+    @property
+    def runs_at_start(self) -> bool:
+        """True when the method runs once at start (``initialize=True``)."""
+        return self._initialize
 
     def __init__(
         self,

@@ -49,6 +49,7 @@ class Signal(Generic[T]):
         "posedge",
         "negedge",
         "_trace_callbacks",
+        "write_hook",
     )
 
     def __init__(self, sim: "Simulator", init: T, name: str = "signal") -> None:
@@ -64,6 +65,11 @@ class Signal(Generic[T]):
         #: Fires (delta) on a True->False / nonzero->zero transition.
         self.negedge = Event(sim, f"{name}.negedge")
         self._trace_callbacks: List[object] = []
+        #: Optional ``hook(signal, staged_value)`` called on every write
+        #: (before staging).  Used by the lint dynamic cross-check to
+        #: attribute same-delta writers; disarmed cost is one ``is None``
+        #: test, same contract as the fault hooks.
+        self.write_hook = None
 
     # -- access ---------------------------------------------------------------
     def read(self) -> T:
@@ -77,6 +83,8 @@ class Signal(Generic[T]):
 
     def write(self, value: T) -> None:
         """Stage ``value``; committed at the end of the current delta."""
+        if self.write_hook is not None:
+            self.write_hook(self, value)
         self._next = value
         if not self._update_requested:
             self._update_requested = True
@@ -101,6 +109,14 @@ class Signal(Generic[T]):
     def on_update(self, callback) -> None:
         """Register ``callback(time, value)`` run at each committed change."""
         self._trace_callbacks.append(callback)
+
+    def events(self) -> "tuple[Event, Event, Event]":
+        """The signal's notification events (value_changed, posedge, negedge).
+
+        Lets analyses map a sensitivity-list event back to the signal it
+        belongs to without guessing from event names.
+        """
+        return (self.value_changed, self.posedge, self.negedge)
 
     def __repr__(self) -> str:
         return f"Signal({self.name!r}={self._current!r})"

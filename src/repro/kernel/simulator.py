@@ -116,6 +116,11 @@ class Simulator:
         #: :class:`~repro.analysis.deadlock.DeadlockReport` when the
         #: analysis layer is importable, else None).
         self.watchdog_report = None
+        #: The process being executed by the evaluation phase right now
+        #: (None between processes and outside run()).  Lets channel hooks
+        #: — e.g. :attr:`Signal.write_hook` — attribute an action to the
+        #: process that performed it.
+        self.current_process: Optional[Process] = None
 
     # -- time --------------------------------------------------------------
     @property
@@ -284,6 +289,7 @@ class Simulator:
                     process = runnable.popleft()
                     executed = True
                     stats.process_executions += 1
+                    self.current_process = process
                     process._execute()
                     if (
                         wall_deadline is not None
@@ -365,6 +371,7 @@ class Simulator:
                     action.callback()
         finally:
             self._running = False
+            self.current_process = None
         if error_on_deadlock and not self._stop_requested:
             blocked = self.blocked_processes()
             if blocked:

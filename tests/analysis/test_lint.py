@@ -425,6 +425,61 @@ class TestEngine:
 
 
 # ---------------------------------------------------------------------------
+# Dataflow layer: select/ignore interplay and severity partitioning
+# ---------------------------------------------------------------------------
+
+class TestDataflowSelection:
+    """The REP4xx rules obey the same suppression engine as every layer:
+    ``ignore`` beats ``select``, even when ``select`` is more specific."""
+
+    @pytest.fixture
+    def racy(self):
+        from .test_dataflow import Racy, _single
+
+        return _single(Racy)
+
+    @pytest.fixture
+    def noisy(self):
+        # carries REP402 + REP404 (BadMethod) and REP403 (Looping)
+        from .test_dataflow import BadMethod, Looping
+
+        netlist = Netlist("net")
+        netlist.add("bad", BadMethod)
+        netlist.add("loop", Looping)
+        return netlist
+
+    def test_dataflow_rules_need_opt_in(self, racy):
+        report = run_lint(racy, select="REP4")
+        assert report.diagnostics == []  # layer is off by default
+
+    def test_ignore_wins_over_more_specific_select(self, noisy):
+        report = run_lint(noisy, dataflow=True, select="REP4", ignore="REP403")
+        codes = report.codes()
+        assert "REP403" not in codes
+        assert "REP402" in codes and "REP404" in codes
+
+    def test_broad_ignore_beats_narrow_select(self, racy):
+        report = run_lint(racy, dataflow=True, select="REP401", ignore="REP4")
+        assert report.diagnostics == []
+
+    def test_warning_rules_partition_as_warnings(self, noisy):
+        report = run_lint(noisy, dataflow=True, select=["REP402", "REP403"])
+        assert report.diagnostics, report.render()
+        assert report.warnings == report.diagnostics
+        assert not report.has_errors
+
+    def test_error_rules_partition_as_errors(self, racy):
+        report = run_lint(racy, dataflow=True, select="REP401")
+        assert report.errors and not report.warnings
+        assert report.has_errors
+
+    def test_rep4_codes_registered_in_dataflow_layer(self):
+        for code in ("REP401", "REP402", "REP403", "REP404", "REP405", "REP406"):
+            assert code in RULES
+            assert RULES[code].layer == "dataflow"
+
+
+# ---------------------------------------------------------------------------
 # Kernel introspection helpers the linter is built on
 # ---------------------------------------------------------------------------
 

@@ -222,3 +222,92 @@ class TestLint:
         assert main(["lint", "--builtin", "broken", "--select", "REP2"]) == 0
         out = capsys.readouterr().out
         assert "REP301" not in out and "REP206" in out
+
+
+class TestLintDataflow:
+    """The ``--dataflow`` / ``--confirm`` surface and the stable JSON shape."""
+
+    RACY = (
+        "from repro.core import Netlist\n"
+        "from repro.kernel import Event, Module, Signal, ns\n"
+        "\n"
+        "class Racy(Module):\n"
+        "    def __init__(self, name, parent=None, sim=None):\n"
+        "        super().__init__(name, parent=parent, sim=sim)\n"
+        "        self.flag = Signal(self.sim, 0, name='flag')\n"
+        "        self.go = Event(self.sim, 'go')\n"
+        "        self.add_thread(self.writer_a, name='writer_a')\n"
+        "        self.add_thread(self.writer_b, name='writer_b')\n"
+        "        self.add_thread(self.waiter, name='waiter')\n"
+        "\n"
+        "    def writer_a(self):\n"
+        "        while True:\n"
+        "            self.flag.write(1)\n"
+        "            yield ns(10)\n"
+        "\n"
+        "    def writer_b(self):\n"
+        "        while True:\n"
+        "            self.flag.write(0)\n"
+        "            yield ns(10)\n"
+        "\n"
+        "    def waiter(self):\n"
+        "        yield self.go\n"
+        "\n"
+        "def build_netlist():\n"
+        "    netlist = Netlist('net')\n"
+        "    netlist.add('dut', Racy)\n"
+        "    return netlist\n"
+    )
+
+    @pytest.fixture
+    def racy_file(self, tmp_path):
+        path = tmp_path / "racy_arch.py"
+        path.write_text(self.RACY)
+        return str(path)
+
+    def test_dataflow_flag_reports_rep4xx(self, racy_file, capsys):
+        assert main(["lint", racy_file]) == 0  # REP204 is only a warning
+        capsys.readouterr()
+        assert main(["lint", racy_file, "--dataflow"]) == 1
+        out = capsys.readouterr().out
+        assert "REP401" in out and "REP405" in out
+
+    def test_confirm_implies_dataflow_and_tags_findings(self, racy_file, capsys):
+        assert main(["lint", racy_file, "--confirm"]) == 1
+        out = capsys.readouterr().out
+        assert "confirm REP401 net.dut.flag: confirmed" in out
+        assert "confirm REP405 net.dut.go: confirmed" in out
+
+    def test_confirm_json_carries_confirmed_field(self, racy_file, capsys):
+        import json
+
+        assert main(["lint", racy_file, "--confirm", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        by_code = {d["code"]: d for d in payload[0]["diagnostics"]}
+        assert by_code["REP401"]["confirmed"] is True
+        assert by_code["REP405"]["confirmed"] is True
+        assert "confirmed" not in by_code["REP204"]  # not a cross-check target
+
+    def test_json_summary_block_and_sort_order(self, racy_file, capsys):
+        import json
+
+        assert main(["lint", racy_file, "--dataflow", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload[0]
+        summary = entry["summary"]
+        assert set(summary) == {"error", "warning", "info"}
+        assert summary["error"] == entry["errors"]
+        assert summary["warning"] == entry["warnings"]
+        keys = [(d["code"], d["location"]) for d in entry["diagnostics"]]
+        assert keys == sorted(keys)
+
+    def test_json_output_is_deterministic(self, racy_file, capsys):
+        assert main(["lint", racy_file, "--dataflow", "--json"]) == 1
+        first = capsys.readouterr().out
+        assert main(["lint", racy_file, "--dataflow", "--json"]) == 1
+        assert capsys.readouterr().out == first
+
+    def test_builtin_templates_dataflow_clean(self, capsys):
+        assert main(["lint", "--dataflow"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out

@@ -7,7 +7,9 @@
 #   1. tier-1 test suite
 #   2. kernel throughput smoke (>30% regression vs BENCH_kernel.json fails)
 #   3. ruff check (skipped with a notice when ruff is not installed)
-#   4. static model lint over every example architecture (must be clean)
+#   4. static model lint over every example architecture, including the
+#      opt-in REP4xx dataflow layer (must be clean), plus a wall-clock
+#      bound on the dataflow analyzer (tools/bench_lint.py --check)
 #   5. fault-campaign smoke: seeded campaign must reproduce byte-for-byte
 #   6. DSE sweep smoke: parallel + cached sweeps must be byte-identical to
 #      serial re-runs (workers 1 and 2), and the warmed cache must hit
@@ -29,8 +31,9 @@ else
     echo "ruff not installed; skipping (config lives in pyproject.toml)"
 fi
 
-echo "== 4/6 static model lint over examples/ =="
-python -m repro lint examples/*.py
+echo "== 4/6 static model lint over examples/ (with dataflow layer) =="
+python -m repro lint --dataflow examples/*.py
+python tools/bench_lint.py --check
 
 echo "== 5/6 fault-campaign reproducibility smoke =="
 python -m repro inject --builtin modem --trials 8 --seed 7 --check
