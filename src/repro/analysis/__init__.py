@@ -1,6 +1,14 @@
 """Post-run analysis: metric aggregation, deadlock diagnosis, static lint."""
 
-from .dataflow import DesignDataflow, ProcessSummary, SignalUse, cross_check, summarize_process
+from .dataflow import (
+    DesignDataflow,
+    ProcessSummary,
+    SchedulePlan,
+    SignalUse,
+    build_schedule_plan,
+    cross_check,
+    summarize_process,
+)
 from .deadlock import BlockedProcess, DeadlockReport, diagnose, watchdog_report
 from .lint import (
     DEADLOCK_RULE_CODE,
@@ -28,8 +36,10 @@ __all__ = [
     "RULES",
     "Rule",
     "RunReport",
+    "SchedulePlan",
     "SignalUse",
     "all_rule_codes",
+    "build_schedule_plan",
     "collect_run_metrics",
     "cross_check",
     "diagnose",

@@ -61,6 +61,37 @@ _UNRESOLVED = object()
 #: Call names recognised as pure-timeout wait expressions (``yield ns(10)``).
 _TIME_FUNCS = frozenset({"fs", "ps", "ns", "us", "ms", "sec", "from_fs", "cycles_to_time", "SimTime"})
 
+#: Calls that change the process/scheduling structure at runtime.  A design
+#: whose process bodies contain any of these cannot be statically
+#: scheduled: the plan built at elaboration would not account for them.
+_DYNAMIC_CALL_NAMES = frozenset(
+    {"spawn", "next_trigger", "add_thread", "add_method", "kill", "on_update"}
+)
+
+#: Name calls (builtins and kernel constructors) known to be free of side
+#: effects on the design.  Anything else makes the body *opaque*: it may
+#: read or write signals through aliases the path analysis cannot see.
+_PURE_NAME_CALLS = frozenset(
+    {
+        "len", "int", "float", "bool", "str", "abs", "min", "max", "sum",
+        "round", "range", "enumerate", "zip", "sorted", "reversed", "tuple",
+        "list", "dict", "set", "frozenset", "divmod", "pow", "ord", "chr",
+        "isinstance", "issubclass", "all", "any", "repr", "hash", "id",
+        "getattr", "hasattr", "iter", "next", "format", "AnyOf", "AllOf",
+    }
+    | _TIME_FUNCS
+)
+
+#: Attribute calls that only *read* their receiver (safe on any object).
+_PURE_ATTR_CALLS = frozenset(
+    {
+        "read", "get", "items", "keys", "values", "count", "index", "copy",
+        "bit_length", "to_ns", "to_ps", "to_us", "femtoseconds", "startswith",
+        "endswith", "join", "split", "format", "lower", "upper", "events",
+    }
+    | _TIME_FUNCS
+)
+
 
 # --------------------------------------------------------------------------
 # Syntactic phase: per-function effect facts
@@ -79,6 +110,15 @@ class _FnFacts:
     unresolved_wait: bool
     unresolved_notify: bool
     yields_in_body: bool
+    #: Body stores state outside local variables (attribute/subscript
+    #: assignment, global/nonlocal): running it a different number of
+    #: times is observable, so it is not a combinational function.
+    stateful: bool = False
+    #: Body calls something whose effects the path analysis cannot see
+    #: (unknown free function, unknown method, write/read via an alias).
+    opaque_calls: bool = False
+    #: Body calls a process-control API (:data:`_DYNAMIC_CALL_NAMES`).
+    dynamic_calls: bool = False
 
 
 class _FactsVisitor(ast.NodeVisitor):
@@ -100,6 +140,9 @@ class _FactsVisitor(ast.NodeVisitor):
         self.unresolved_wait = False
         self.unresolved_notify = False
         self.yields_in_body = False
+        self.stateful = False
+        self.opaque_calls = False
+        self.dynamic_calls = False
 
     # -- scope fences -------------------------------------------------------
     def _skip_scope(self, node: ast.AST) -> None:
@@ -121,22 +164,62 @@ class _FactsVisitor(ast.NodeVisitor):
             return tuple(reversed(parts))
         return None
 
+    # -- state stores --------------------------------------------------------
+    def _check_store_targets(self, targets) -> None:
+        # Stores to anything but plain local names (self.x = ..., d[k] = ...,
+        # including inside tuple targets) persist across invocations.
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._check_store_targets(target.elts)
+            elif not isinstance(target, ast.Name):
+                self.stateful = True
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_store_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._check_store_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.stateful = True
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.stateful = True
+
     # -- effects ------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if isinstance(func, ast.Attribute):
             attr = func.attr
             path = self._path(func.value)
+            if attr in _DYNAMIC_CALL_NAMES:
+                self.dynamic_calls = True
             if attr == "write":
                 if path == ():
                     self.self_calls.append(attr)
                 elif path:
                     self.writes.append(path)
+                else:
+                    # A write through a local alias could target any signal.
+                    self.opaque_calls = True
             elif attr == "read":
                 if path == ():
                     self.self_calls.append(attr)
                 elif path:
                     self.reads.append(path)
+                else:
+                    self.opaque_calls = True
             elif attr in ("notify", "notify_delta"):
                 if path == ():
                     self.self_calls.append(attr)
@@ -146,6 +229,17 @@ class _FactsVisitor(ast.NodeVisitor):
                     self.unresolved_notify = True
             elif path == ():
                 self.self_calls.append(attr)
+            elif attr not in _PURE_ATTR_CALLS and attr not in _DYNAMIC_CALL_NAMES:
+                # Unknown method call: could mutate state or touch signals
+                # the path analysis cannot attribute.
+                self.opaque_calls = True
+        elif isinstance(func, ast.Name):
+            if func.id in _DYNAMIC_CALL_NAMES:
+                self.dynamic_calls = True
+            elif func.id not in _PURE_NAME_CALLS:
+                self.opaque_calls = True
+        else:
+            self.opaque_calls = True
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -153,6 +247,12 @@ class _FactsVisitor(ast.NodeVisitor):
             path = self._path(node.value)
             if path:
                 self.reads.append(path)
+            elif path is None:
+                # ``.value`` on a non-self expression: if that expression
+                # aliases a signal, this is a read the path analysis cannot
+                # attribute (usually it is something harmless — an enum, an
+                # AST node — but the static schedule must assume the worst).
+                self.opaque_calls = True
         self.generic_visit(node)
 
     def _record_wait(self, value: ast.AST) -> None:
@@ -244,6 +344,9 @@ def _fn_facts(func: object) -> Optional[_FnFacts]:
                 unresolved_wait=visitor.unresolved_wait,
                 unresolved_notify=visitor.unresolved_notify,
                 yields_in_body=visitor.yields_in_body,
+                stateful=visitor.stateful,
+                opaque_calls=visitor.opaque_calls,
+                dynamic_calls=visitor.dynamic_calls,
             )
     _FACTS_CACHE[code] = facts
     return facts
@@ -321,6 +424,9 @@ class ProcessSummary:
     unresolved_wait: bool = False
     unresolved_notify: bool = False
     yields_in_body: bool = False
+    stateful: bool = False
+    opaque_calls: bool = False
+    dynamic_calls: bool = False
 
     def activation_events(self) -> List[Event]:
         """Events that can make this process runnable (sensitivity + waits)."""
@@ -342,12 +448,16 @@ def _accumulate(
     if facts is None:
         summary.unresolved_wait = True
         summary.unresolved_notify = True
+        summary.opaque_calls = True
         return
     if top:
         summary.yields_in_body = facts.yields_in_body
     summary.static_wait = summary.static_wait or facts.static_wait
     summary.unresolved_wait = summary.unresolved_wait or facts.unresolved_wait
     summary.unresolved_notify = summary.unresolved_notify or facts.unresolved_notify
+    summary.stateful = summary.stateful or facts.stateful
+    summary.opaque_calls = summary.opaque_calls or facts.opaque_calls
+    summary.dynamic_calls = summary.dynamic_calls or facts.dynamic_calls
     for path in facts.writes:
         sig = _as_signal(_resolve_path(owner, path))
         if sig is not None:
@@ -393,6 +503,7 @@ def summarize_process(process: object) -> ProcessSummary:
         # impossible, so report "anything could happen".
         summary.unresolved_wait = True
         summary.unresolved_notify = True
+        summary.opaque_calls = True
         return summary
     _accumulate(owner, fn, summary, set(), top=True)
     return summary
@@ -594,6 +705,246 @@ class DesignDataflow:
                             unresolved = True
         self._notify_scan = (notified, unresolved)
         return self._notify_scan
+
+
+# --------------------------------------------------------------------------
+# Elaboration-time static schedule (consumed by repro.kernel.specialize)
+# --------------------------------------------------------------------------
+
+@dataclass
+class SchedulePlan:
+    """What the dataflow analysis could prove about an elaborated design,
+    packaged for the kernel's specialization pass.
+
+    ``silent_signals`` are single-writer signals with no observers at all:
+    a write can commit in place, skipping the update queue and the delta
+    notification entirely.  ``chained_signals`` additionally drive method
+    processes through their static sensitivity; each entry carries the
+    dependent methods per event kind (value_changed, posedge, negedge) in
+    registration order, and ``method_ranks`` assigns those methods a
+    topological rank so one forward sweep per evaluation phase settles the
+    whole combinational wave.  A non-empty ``fallback_reasons`` means the
+    design must run on the generic scheduler; the decision is wholesale —
+    a single unprovable construct anywhere rejects the entire design, so
+    the two paths can never mix semantics.
+    """
+
+    fallback_reasons: List[str] = field(default_factory=list)
+    summaries: List[ProcessSummary] = field(default_factory=list)
+    silent_signals: List[Signal] = field(default_factory=list)
+    #: ``(signal, (value_changed_deps, posedge_deps, negedge_deps))``
+    chained_signals: List[Tuple[Signal, Tuple[tuple, tuple, tuple]]] = field(
+        default_factory=list
+    )
+    #: ``(method_process, rank)`` for every chained method.
+    method_ranks: List[Tuple[object, int]] = field(default_factory=list)
+    rank_count: int = 0
+
+    @property
+    def specializable(self) -> bool:
+        """True when the fast path applies (no fallback, something to gain)."""
+        return not self.fallback_reasons and bool(
+            self.silent_signals or self.chained_signals
+        )
+
+
+def build_schedule_plan(sim: Simulator) -> SchedulePlan:
+    """Analyze an elaborated (not yet started) design for static scheduling.
+
+    Bails out with a recorded reason on the *first* construct that defeats
+    the analysis — unresolved waits/notifies, opaque or process-control
+    calls, free-function processes — so rejected designs (the common case
+    for spawn-heavy models) pay almost nothing at elaboration.
+
+    A signal is eligible when the analysis proves: exactly one writing
+    process, which never reads it back in the same body; no trace
+    callbacks or write hook; no thread ever waits on (or anything
+    notifies) its events; and every reader is a method process statically
+    sensitive to it.  A method is chainable when it is combinational —
+    stateless, non-blocking, notifies nothing — and all the signals it
+    touches stay inside the eligible set (reads restricted to its own
+    sensitivity or constant signals).  The two sets are pruned to a
+    mutual fixpoint, then ranked longest-path over writer->reader edges;
+    a combinational cycle rejects the design wholesale.
+    """
+    plan = SchedulePlan()
+    reasons = plan.fallback_reasons
+    if not sim._top_modules:
+        reasons.append("no module hierarchy (spawn-only design)")
+        return plan
+    processes = list(sim._processes)
+    if not processes:
+        reasons.append("no registered processes")
+        return plan
+
+    summaries: List[ProcessSummary] = []
+    for process in processes:
+        summary = summarize_process(process)
+        summaries.append(summary)
+        if summary.unresolved_wait or summary.unresolved_notify:
+            reasons.append(f"process {summary.name}: unresolved waits/notifies")
+            return plan
+        if summary.dynamic_calls:
+            reasons.append(f"process {summary.name}: dynamic process-control calls")
+            return plan
+        if summary.opaque_calls:
+            reasons.append(f"process {summary.name}: opaque calls (possible signal aliasing)")
+            return plan
+        if summary.kind == "method" and getattr(process, "_dynamic", None) is not None:
+            reasons.append(f"process {summary.name}: dynamic trigger armed")
+            return plan
+    plan.summaries = summaries
+
+    # -- usage maps (identity-keyed) ---------------------------------------
+    sig_by_id: Dict[int, Signal] = {}
+    writer_of: Dict[int, List[ProcessSummary]] = {}
+    readers_of: Dict[int, List[ProcessSummary]] = {}
+    for summary in summaries:
+        for sig in summary.signal_writes:
+            sig_by_id[id(sig)] = sig
+            writer_of.setdefault(id(sig), []).append(summary)
+        for sig in summary.signal_reads:
+            sig_by_id[id(sig)] = sig
+            readers_of.setdefault(id(sig), []).append(summary)
+    for top in sim._top_modules:
+        for module in (top, *top.descendants()):
+            for sig in signals_of(module).values():
+                sig_by_id.setdefault(id(sig), sig)
+
+    waited_ids = {id(e) for s in summaries for e in s.waited_events}
+    notified_ids = {id(e) for s in summaries for e in s.notified_events}
+    method_summaries = {id(s.process): s for s in summaries if s.kind == "method"}
+
+    # -- initial candidate signals ------------------------------------------
+    candidates: Dict[int, Signal] = {}
+    for sid, sig in sig_by_id.items():
+        writers = writer_of.get(sid, [])
+        if len(writers) != 1:
+            continue
+        writer = writers[0]
+        if any(r is sig for r in writer.signal_reads):
+            continue  # same-body read-back: commit order would be observable
+        if sig._trace_callbacks or sig.write_hook is not None:
+            continue
+        events = sig.events()
+        if any(id(e) in waited_ids or id(e) in notified_ids for e in events):
+            continue
+        ok = True
+        for event in events:
+            if event._dynamic_waiters:
+                ok = False
+                break
+            for proc in event._static_waiters:
+                if id(proc) not in method_summaries:
+                    ok = False  # a thread's static sensitivity includes it
+                    break
+            if not ok:
+                break
+        if not ok:
+            continue
+        for reader in readers_of.get(sid, []):
+            proc = reader.process
+            if id(proc) not in method_summaries or not any(
+                any(e is se for se in proc.static_sensitivity) for e in events
+            ):
+                ok = False  # a reader the wave would not re-run
+                break
+        if ok:
+            candidates[sid] = sig
+
+    # -- initial chainable methods ------------------------------------------
+    chainable: Dict[int, ProcessSummary] = {}
+    for summary in summaries:
+        if summary.kind != "method":
+            continue
+        if summary.stateful or summary.yields_in_body:
+            continue
+        if summary.notified_events or summary.waited_events:
+            continue
+        if not summary.process.static_sensitivity:
+            continue
+        chainable[id(summary.process)] = summary
+
+    # -- mutual fixpoint ----------------------------------------------------
+    # A signal no process writes is constant — unless elaboration code
+    # staged a write that will only commit in the first update phase, in
+    # which case a wave running in delta 0 would read the pre-commit value.
+    zero_writer_ids = {
+        sid
+        for sid, sig in sig_by_id.items()
+        if sid not in writer_of and not sig._update_requested
+    }
+    changed = True
+    while changed:
+        changed = False
+        cand_event_ids: Dict[int, int] = {}
+        for sid, sig in candidates.items():
+            for event in sig.events():
+                cand_event_ids[id(event)] = sid
+        for pid, summary in list(chainable.items()):
+            proc = summary.process
+            ok = all(id(e) in cand_event_ids for e in proc.static_sensitivity)
+            if ok:
+                sens_sids = {cand_event_ids[id(e)] for e in proc.static_sensitivity}
+                ok = all(id(sig) in candidates for sig in summary.signal_writes) and all(
+                    id(sig) in sens_sids or id(sig) in zero_writer_ids
+                    for sig in summary.signal_reads
+                )
+            if not ok:
+                del chainable[pid]
+                changed = True
+        for sid, sig in list(candidates.items()):
+            ok = all(
+                id(proc) in chainable
+                for event in sig.events()
+                for proc in event._static_waiters
+            ) and all(
+                id(reader.process) in chainable for reader in readers_of.get(sid, [])
+            )
+            if not ok:
+                del candidates[sid]
+                changed = True
+
+    # -- topological ranks (longest path over writer -> dependent edges) ----
+    preds: Dict[int, Set[int]] = {pid: set() for pid in chainable}
+    for sid, sig in candidates.items():
+        writer = writer_of[sid][0]
+        wpid = id(writer.process)
+        if wpid not in chainable:
+            continue  # thread-driven source
+        for event in sig.events():
+            for proc in event._static_waiters:
+                if id(proc) in chainable:
+                    preds[id(proc)].add(wpid)
+    ranks: Dict[int, int] = {pid: 0 for pid in chainable}
+    for _ in range(len(chainable) + 1):
+        moved = False
+        for pid, above in preds.items():
+            for wpid in above:
+                if ranks[pid] <= ranks[wpid]:
+                    ranks[pid] = ranks[wpid] + 1
+                    moved = True
+        if not moved:
+            break
+    else:
+        reasons.append("combinational cycle among method processes")
+        return plan
+
+    plan.method_ranks = [
+        (summary.process, ranks[pid]) for pid, summary in chainable.items()
+    ]
+    plan.rank_count = (max(ranks.values()) + 1) if ranks else 0
+    for sid, sig in candidates.items():
+        deps = tuple(
+            tuple(event._static_waiters) for event in sig.events()
+        )
+        if any(deps):
+            plan.chained_signals.append((sig, deps))
+        else:
+            plan.silent_signals.append(sig)
+    if not plan.silent_signals and not plan.chained_signals:
+        reasons.append("no signals eligible for static scheduling")
+    return plan
 
 
 # --------------------------------------------------------------------------

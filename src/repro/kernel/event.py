@@ -101,6 +101,15 @@ class Event:
         """True if any process is statically or dynamically waiting."""
         return bool(self._static_waiters or self._dynamic_waiters)
 
+    def static_waiters(self) -> "list[Process]":
+        """Statically sensitive processes, in registration order.
+
+        The order is the order the scheduler notifies them in, which the
+        static schedule (:mod:`repro.kernel.specialize`) preserves when it
+        marks sensitive methods directly.
+        """
+        return list(self._static_waiters)
+
     # -- waiter management (kernel internal) -------------------------------
     def _add_static(self, process: "Process") -> None:
         self._static_waiters.setdefault(process)

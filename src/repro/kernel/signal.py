@@ -50,6 +50,7 @@ class Signal(Generic[T]):
         "negedge",
         "_trace_callbacks",
         "write_hook",
+        "_dependents",
     )
 
     def __init__(self, sim: "Simulator", init: T, name: str = "signal") -> None:
@@ -70,6 +71,10 @@ class Signal(Generic[T]):
         #: attribute same-delta writers; disarmed cost is one ``is None``
         #: test, same contract as the fault hooks.
         self.write_hook = None
+        #: Static-schedule dependency table installed by the specialized
+        #: scheduler (:mod:`repro.kernel.specialize`); None on the generic
+        #: path.
+        self._dependents = None
 
     # -- access ---------------------------------------------------------------
     def read(self) -> T:
@@ -87,15 +92,18 @@ class Signal(Generic[T]):
             self.write_hook(self, value)
         self._next = value
         if not self._update_requested:
-            self._update_requested = True
-            self.sim._update_queue.append(self)
+            self.sim._enqueue_update(self)
 
     def _update(self) -> None:
         # _update_requested was cleared by the scheduler's update phase.
-        if self._next == self._current:
-            return
+        # Identity first: a NaN payload compares unequal to itself, and the
+        # equality-only guard would re-fire value_changed on every commit of
+        # the same NaN object.
         old = self._current
-        self._current = new = self._next
+        new = self._next
+        if new is old or new == old:
+            return
+        self._current = new
         self.value_changed.notify_delta()
         if not old and new:
             self.posedge.notify_delta()
@@ -107,7 +115,15 @@ class Signal(Generic[T]):
                 callback(now, new)  # type: ignore[operator]
 
     def on_update(self, callback) -> None:
-        """Register ``callback(time, value)`` run at each committed change."""
+        """Register ``callback(time, value)`` run at each committed change.
+
+        Trace callbacks observe every committed change, which the
+        specialized fast path skips — so attaching one reverts the
+        simulator to the generic scheduler (wholesale, per the
+        specialization contract).
+        """
+        if self.sim._specialized:
+            self.sim._despecialize()
         self._trace_callbacks.append(callback)
 
     def events(self) -> "tuple[Event, Event, Event]":

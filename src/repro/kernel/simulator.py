@@ -25,7 +25,18 @@ integer femtosecond count (for arithmetic) and as a cached
 
 ``trace_hooks`` fire once per *finished instant* — after the last delta
 cycle at a timestamp has settled and before time advances — so delta-only
-activity (e.g. everything happening at t=0) is traced too.
+activity (e.g. everything happening at t=0) is traced too.  Activity a
+hook itself injects runs at the same instant but does not re-fire the
+hooks: "once per finished instant" is a hard guarantee, and the injected
+effects are visible when the hooks fire at the next instant.
+
+With ``specialize=True`` (the default) :meth:`Simulator.initialize` asks
+:mod:`repro.kernel.specialize` for an elaboration-time static schedule:
+signals the dataflow analysis proves single-writer with method-only
+readers commit immediately (skipping the update-queue round trip and
+delta notification), and the sensitive method processes run in a
+topologically ranked wave inside the same evaluation phase.  Designs the
+analysis cannot fully resolve fall back wholesale to the generic path.
 """
 
 from __future__ import annotations
@@ -35,7 +46,7 @@ import time
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
-from .errors import DeadlockError, ElaborationError, SchedulingError
+from .errors import DeadlockError, ElaborationError, ProcessError, SchedulingError
 from .event import Event
 from .process import Process, ProcessState, ThreadProcess
 from .simtime import SimTime, ZERO_TIME
@@ -63,13 +74,25 @@ class TimedAction:
 class SimulatorStats:
     """Bookkeeping counters exposed by :attr:`Simulator.stats`."""
 
-    __slots__ = ("process_executions", "delta_cycles", "timed_activations", "signal_updates")
+    __slots__ = (
+        "process_executions",
+        "delta_cycles",
+        "timed_activations",
+        "signal_updates",
+        "specialized_commits",
+    )
 
     def __init__(self) -> None:
         self.process_executions = 0
         self.delta_cycles = 0
         self.timed_activations = 0
         self.signal_updates = 0
+        #: Signal commits performed by the specialized fast path, i.e.
+        #: update-queue round trips and delta notifications the static
+        #: schedule proved unnecessary and skipped.  Always 0 on the
+        #: generic path, so ``signal_updates + specialized_commits`` is
+        #: comparable across the two schedulers.
+        self.specialized_commits = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dictionary (for reports)."""
@@ -78,6 +101,7 @@ class SimulatorStats:
             "delta_cycles": self.delta_cycles,
             "timed_activations": self.timed_activations,
             "signal_updates": self.signal_updates,
+            "specialized_commits": self.specialized_commits,
         }
 
 
@@ -91,7 +115,7 @@ class Simulator:
         sim.run(until=us(100))
     """
 
-    def __init__(self, name: str = "sim") -> None:
+    def __init__(self, name: str = "sim", *, specialize: bool = True) -> None:
         self.name = name
         self._now_fs = 0
         self._now_obj = ZERO_TIME  # cached SimTime mirror of _now_fs
@@ -106,6 +130,28 @@ class Simulator:
         self._processes: List[Process] = []
         self._top_modules: List[object] = []
         self._end_of_elaboration_hooks: List[Callable[[], None]] = []
+        # -- elaboration-time specialization (kernel/specialize.py) --------
+        #: Master switch: ``specialize=False`` forces the generic scheduler
+        #: regardless of what the static analysis could prove.
+        self._specialize_enabled = specialize
+        #: True while the static fast path is active.  Runtime events the
+        #: plan could not foresee (dynamic spawn, hooks armed mid-run)
+        #: revert the whole design via :meth:`_despecialize`.
+        self._specialized = False
+        #: Rank-indexed buckets of method processes marked runnable by
+        #: fast signal commits; drained in rank order by the evaluation
+        #: phase.  Empty list on the generic path.
+        self._pending_buckets: List[List[Process]] = []
+        self._pending_count = 0
+        #: Signals whose class was swapped to a fast variant (for revert).
+        self._fast_signals: List[object] = []
+        #: The :class:`~repro.analysis.dataflow.SchedulePlan` built at
+        #: :meth:`initialize`, or None (specialization disabled / analysis
+        #: layer unavailable).
+        self.schedule_plan = None
+        #: Why the design fell back to the generic scheduler (empty when
+        #: specialized, or when specialization was never attempted).
+        self.specialize_fallback_reasons: List[str] = []
         self.stats = SimulatorStats()
         #: Called with the current time once per finished instant (after the
         #: last delta cycle at that timestamp, before time advances).
@@ -152,7 +198,10 @@ class Simulator:
 
     def register_process(self, process: Process) -> None:
         if self._started:
-            # Dynamic process: start immediately.
+            # Dynamic process: the static schedule cannot account for it,
+            # so the whole design reverts to the generic scheduler.
+            if self._specialized:
+                self._despecialize(f"dynamic process {process.name!r} registered after start")
             self._processes.append(process)
             process.start()
         else:
@@ -191,6 +240,18 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` from now (kernel context)."""
         return self._schedule_timed_fs(self._now_fs + delay.femtoseconds, callback)
 
+    def _enqueue_update(self, channel: object) -> None:
+        """Set a channel's update-request flag and queue it (no dedup check).
+
+        The single writer of the flag protocol: callers —
+        :meth:`request_update` and flag-carrying channels such as
+        :class:`~repro.kernel.Signal` — test ``_update_requested`` first
+        and delegate here, so the set-flag-and-append step exists exactly
+        once.
+        """
+        channel._update_requested = True  # type: ignore[attr-defined]
+        self._update_queue.append(channel)
+
     def request_update(self, channel: object) -> None:
         """Queue a primitive channel for the next update phase (idempotent).
 
@@ -199,20 +260,22 @@ class Simulator:
         ``_update_requested`` flag, making the dedup O(1); the flag is set
         here (or by the channel itself) and cleared by the update phase
         just before ``_update()`` runs.  Flagless objects (e.g. with
-        ``__slots__``) fall back to a queue membership scan.
+        ``__slots__``) fall back to a queue membership scan — by identity,
+        not ``__eq__``: two distinct channels that happen to compare equal
+        must still both be updated.
         """
         flag = getattr(channel, "_update_requested", None)
         if flag:
             return
         if flag is None:
             try:
-                channel._update_requested = True  # type: ignore[attr-defined]
+                self._enqueue_update(channel)
             except AttributeError:
-                if channel in self._update_queue:
+                if any(queued is channel for queued in self._update_queue):
                     return
+                self._update_queue.append(channel)
         else:
-            channel._update_requested = True  # type: ignore[attr-defined]
-        self._update_queue.append(channel)
+            self._enqueue_update(channel)
 
     def _process_terminated(self, process: Process) -> None:
         # Kept in the list for post-mortem inspection; nothing to do here.
@@ -220,14 +283,37 @@ class Simulator:
 
     # -- running --------------------------------------------------------------
     def initialize(self) -> None:
-        """Run end-of-elaboration hooks and make all processes runnable."""
+        """Run end-of-elaboration hooks and make all processes runnable.
+
+        With specialization enabled (the default), this is also where the
+        static schedule is built and applied: elaboration is complete, no
+        process has run yet, so the dataflow analysis sees the final design.
+        """
         if self._started:
             return
         self._started = True
         for hook in self._end_of_elaboration_hooks:
             hook()
+        if self._specialize_enabled:
+            from .specialize import try_specialize
+
+            try_specialize(self)
         for process in self._processes:
             process.start()
+
+    def _despecialize(self, reason: str = "runtime fallback trigger") -> None:
+        """Revert the specialized fast path to the generic scheduler.
+
+        Safe to call mid-run: pending static-schedule marks are flushed
+        into the runnable queue (in rank order) and the fast signal
+        classes are swapped back, so the current instant completes with
+        generic semantics.  Idempotent.
+        """
+        if not self._specialized:
+            return
+        from .specialize import revert
+
+        revert(self, reason)
 
     def stop(self) -> None:
         """Request the scheduler to stop after the current process returns."""
@@ -277,6 +363,7 @@ class Simulator:
         until_fs = until.femtoseconds if until is not None else None
         deltas_this_instant = 0
         instant_active = False  # anything happened at the current instant?
+        hooks_fired = False  # trace hooks already ran at the current instant?
         runnable = self._runnable
         timed_heap = self._timed_heap
         stats = self.stats
@@ -285,20 +372,53 @@ class Simulator:
             while not self._stop_requested:
                 # Evaluation phase.
                 executed = False
-                while runnable:
-                    process = runnable.popleft()
-                    executed = True
-                    stats.process_executions += 1
-                    self.current_process = process
-                    process._execute()
-                    if (
-                        wall_deadline is not None
-                        and (stats.process_executions & 0xFF) == 0
-                        and time.monotonic() >= wall_deadline
-                    ):
-                        self._trip_watchdog(max_wall_s)
-                    if self._stop_requested:
+                while True:
+                    while runnable:
+                        process = runnable.popleft()
+                        executed = True
+                        stats.process_executions += 1
+                        self.current_process = process
+                        process._execute()
+                        if (
+                            wall_deadline is not None
+                            and (stats.process_executions & 0xFF) == 0
+                            and time.monotonic() >= wall_deadline
+                        ):
+                            self._trip_watchdog(max_wall_s)
+                        if self._stop_requested:
+                            break
+                    if not self._pending_count or self._stop_requested:
                         break
+                    # Static-schedule drain: method processes marked by fast
+                    # signal commits run in topological rank order, so each
+                    # combinational wave settles in a single glitch-free
+                    # pass (a rank-r method only marks ranks > r, which this
+                    # same forward sweep then visits).  The plan proved these
+                    # methods never call next_trigger/kill, so the state and
+                    # pending-trigger bookkeeping of MethodProcess._execute
+                    # is skipped and _fn is called directly.
+                    executed = True
+                    ran = 0
+                    terminated = ProcessState.TERMINATED
+                    for bucket in self._pending_buckets:
+                        if bucket:
+                            for process in bucket:
+                                process._queued = False
+                                if process.state is terminated:
+                                    continue  # killed between initialize and run
+                                ran += 1
+                                self.current_process = process
+                                try:
+                                    process._fn()
+                                except Exception as exc:
+                                    process._terminate()
+                                    raise ProcessError(
+                                        process.name,
+                                        f"{type(exc).__name__}: {exc}",
+                                    ) from exc
+                            bucket.clear()
+                    stats.process_executions += ran
+                    self._pending_count = 0
                 if self._stop_requested:
                     break
                 if executed:
@@ -336,11 +456,20 @@ class Simulator:
                 # The instant has settled: trace it, then advance time.
                 if instant_active:
                     instant_active = False
-                    if self.trace_hooks:
+                    if self.trace_hooks and not hooks_fired:
+                        # Once per finished instant: activity a hook injects
+                        # re-settles at this instant but is NOT re-traced
+                        # (its effects are visible at the next firing).
+                        hooks_fired = True
                         now_obj = self.now
                         for hook in self.trace_hooks:
                             hook(now_obj)
-                        if runnable or self._update_queue or self._delta_events:
+                        if (
+                            runnable
+                            or self._update_queue
+                            or self._delta_events
+                            or self._pending_count
+                        ):
                             continue  # a hook injected activity at this instant
                 # Timed notification phase.
                 deltas_this_instant = 0
@@ -359,6 +488,7 @@ class Simulator:
                     self._now_fs = until_fs
                     break
                 self._now_fs = now_fs = next_action.time_fs
+                hooks_fired = False
                 stats.timed_activations += 1
                 instant_active = True
                 next_action.callback()

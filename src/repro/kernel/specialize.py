@@ -1,0 +1,212 @@
+"""Elaboration-time kernel specialization (the static scheduling fast path).
+
+At :meth:`Simulator.initialize`, once elaboration is complete and before
+any process has run, the design is handed to the dataflow analysis
+(:func:`repro.analysis.dataflow.build_schedule_plan`).  When the analysis
+proves a signal has exactly one writer and only method-process readers
+that are statically sensitive to it, the signal's class is swapped to a
+fast variant whose ``write``:
+
+* commits the value in place (no update-queue round trip, no delta
+  notification, no extra delta cycle), and
+* marks the dependent method processes directly into rank-indexed
+  buckets, which the evaluation phase drains in topological order —
+  one glitch-free pass per combinational wave.
+
+This is the pymtl3/GT-HDL lesson applied to this kernel: pay for analysis
+once at elaboration instead of running dynamic checks on every call.
+
+The contract is **wholesale per design, never per signal**: a single
+construct the analysis cannot resolve (an aliased write, a free-function
+process, a dynamic ``spawn``, an armed ``write_hook``/``fault_hook``,
+``--confirm`` instrumentation) rejects the whole design, which then runs
+on the generic scheduler unchanged.  Runtime events the plan could not
+foresee — a process spawned mid-run, a hook armed after initialize, a
+trace callback attached — revert the live simulation the same way via
+:func:`revert`, flushing any pending static marks into the ordinary
+runnable queue so the current instant completes with generic semantics.
+
+Observable equivalence: the two paths produce byte-identical traces
+(per-instant trace hooks, VCD, golden stats) and equal
+``timed_activations``; ``delta_cycles``/``signal_updates``/
+``process_executions`` may shrink on the fast path, and every skipped
+commit round trip is reported in ``stats.specialized_commits`` rather
+than silently folded in.  ``Simulator(specialize=False)`` forces the
+generic path unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import Simulator
+
+
+class _SilentSignal(Signal):
+    """Fast variant for a proven single-writer signal nothing observes.
+
+    ``__slots__ = ()`` keeps the memory layout identical to
+    :class:`Signal`, so instances are specialized (and reverted) by plain
+    class swap.
+    """
+
+    __slots__ = ()
+
+    def write(self, value):
+        if self.write_hook is not None:
+            # Armed after initialize: the contract is wholesale fallback.
+            self.sim._despecialize(f"write hook armed on {self.name} after initialize")
+            Signal.write(self, value)
+            return
+        current = self._current
+        self._next = value
+        if value is current or value == current:
+            return  # equal-value write absorbed, as on the generic path
+        self._current = value
+        self.sim.stats.specialized_commits += 1
+
+
+class _ChainedSignal(Signal):
+    """Fast variant for a single-writer signal driving chained methods.
+
+    A committing write marks the dependent method processes (from the
+    ``_dependents`` table installed by :func:`apply_plan`) straight into
+    the simulator's rank buckets; the evaluation phase's forward sweep
+    then runs the whole combinational wave in this same phase.
+    """
+
+    __slots__ = ()
+
+    def write(self, value):
+        if self.write_hook is not None:
+            self.sim._despecialize(f"write hook armed on {self.name} after initialize")
+            Signal.write(self, value)
+            return
+        current = self._current
+        self._next = value
+        if value is current or value == current:
+            return
+        self._current = value
+        sim = self.sim
+        sim.stats.specialized_commits += 1
+        vc_deps, pos_deps, neg_deps = self._dependents
+        buckets = sim._pending_buckets
+        marked = 0
+        for proc in vc_deps:
+            if not proc._queued:
+                proc._queued = True
+                buckets[proc._rank].append(proc)
+                marked += 1
+        # Same edge semantics (and the same elif) as Signal._update.
+        if not current and value:
+            for proc in pos_deps:
+                if not proc._queued:
+                    proc._queued = True
+                    buckets[proc._rank].append(proc)
+                    marked += 1
+        elif current and not value:
+            for proc in neg_deps:
+                if not proc._queued:
+                    proc._queued = True
+                    buckets[proc._rank].append(proc)
+                    marked += 1
+        if marked:
+            sim._pending_count += marked
+
+
+def _live_fallback_reasons(sim: "Simulator") -> List[str]:
+    """Cheap pre-analysis checks on the live design (hooks, hierarchy).
+
+    These catch the instrumentation cases — fault-injection hooks,
+    ``--confirm`` write hooks — without paying for any AST work, and stop
+    at the first finding.
+    """
+    reasons: List[str] = []
+    if not sim._top_modules:
+        reasons.append("no module hierarchy (spawn-only design)")
+        return reasons
+    for top in sim._top_modules:
+        for module in (top, *top.descendants()):
+            if getattr(module, "fault_hook", None) is not None:
+                reasons.append(f"fault hook armed on {module.full_name}")
+                return reasons
+            for value in vars(module).values():
+                if getattr(value, "fault_hook", None) is not None:
+                    reasons.append(f"fault hook armed inside {module.full_name}")
+                    return reasons
+                if isinstance(value, Signal) and value.write_hook is not None:
+                    reasons.append(f"write hook armed on {value.name}")
+                    return reasons
+    return reasons
+
+
+def try_specialize(sim: "Simulator") -> bool:
+    """Attempt to specialize ``sim``; returns True when the fast path is on.
+
+    On rejection the reasons are recorded in
+    ``sim.specialize_fallback_reasons`` and the simulator is left exactly
+    as the generic scheduler expects it.
+    """
+    reasons = sim.specialize_fallback_reasons
+    live = _live_fallback_reasons(sim)
+    if live:
+        reasons.extend(live)
+        return False
+    try:
+        from ..analysis.dataflow import build_schedule_plan
+    except ImportError:  # kernel used standalone, no analysis layer
+        reasons.append("analysis layer unavailable")
+        return False
+    plan = build_schedule_plan(sim)
+    sim.schedule_plan = plan
+    if not plan.specializable:
+        reasons.extend(plan.fallback_reasons)
+        return False
+    apply_plan(sim, plan)
+    return True
+
+
+def apply_plan(sim: "Simulator", plan) -> None:
+    """Install a :class:`SchedulePlan`: swap signal classes, set ranks."""
+    for process, rank in plan.method_ranks:
+        process._rank = rank
+    sim._pending_buckets = [[] for _ in range(max(plan.rank_count, 1))]
+    sim._pending_count = 0
+    fast = sim._fast_signals
+    for sig in plan.silent_signals:
+        sig.__class__ = _SilentSignal
+        fast.append(sig)
+    for sig, deps in plan.chained_signals:
+        sig._dependents = deps
+        sig.__class__ = _ChainedSignal
+        fast.append(sig)
+    sim._specialized = True
+
+
+def revert(sim: "Simulator", reason: str) -> None:
+    """Return a specialized simulator to the generic scheduler, mid-run safe.
+
+    Fast signal classes are swapped back and any pending static-schedule
+    marks are flushed into the runnable queue in rank order (keeping their
+    ``_queued`` flag, which ``_execute`` clears as usual), so the current
+    instant completes with generic semantics and no activation is lost.
+    """
+    if not sim._specialized:
+        return
+    sim._specialized = False
+    for sig in sim._fast_signals:
+        sig.__class__ = Signal
+        sig._dependents = None
+    sim._fast_signals = []
+    for bucket in sim._pending_buckets:
+        if bucket:
+            for proc in bucket:
+                if proc._queued:
+                    sim._runnable.append(proc)
+            bucket.clear()
+    sim._pending_count = 0
+    sim._pending_buckets = []
+    sim.specialize_fallback_reasons.append(reason)

@@ -1,0 +1,192 @@
+"""Regression tests for three scheduler correctness fixes.
+
+1. ``Simulator.request_update`` deduped flagless channels with ``in`` (an
+   ``__eq__`` scan), so two distinct channels that compare equal collapsed
+   into one update.  The scan is now identity-based.
+2. ``Signal._update`` used an equality-only guard, so committing the same
+   NaN payload (which compares unequal to itself) re-fired
+   ``value_changed`` on every write of the unchanged value.
+3. Trace hooks re-fired at the same instant when a hook injected activity
+   (a write or notification), double-counting the instant.  Hooks now fire
+   exactly once per finished instant; injected activity settles at the
+   same instant but is observed at the next firing.
+"""
+
+import math
+
+from repro.kernel import Signal, Simulator, ns
+
+
+class _FlaglessChannel:
+    """An update-protocol channel without ``_update_requested``.
+
+    Defines value-based ``__eq__`` so the old ``channel in queue``
+    membership scan confuses distinct instances.
+    """
+
+    def __init__(self) -> None:
+        self.updates = 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _FlaglessChannel)
+
+    def __hash__(self) -> int:  # keep hashable despite __eq__
+        return 0
+
+    def _update(self) -> None:
+        self.updates += 1
+
+
+class TestRequestUpdateDedup:
+    def test_equal_comparing_channels_both_update(self):
+        """Two distinct channels that compare equal each get one update."""
+        sim = Simulator()
+        a, b = _FlaglessChannel(), _FlaglessChannel()
+        assert a == b  # the precondition that broke the old scan
+
+        def body():
+            sim.request_update(a)
+            sim.request_update(b)
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        assert (a.updates, b.updates) == (1, 1)
+
+    def test_same_flagless_channel_still_deduped(self):
+        sim = Simulator()
+        a = _FlaglessChannel()
+
+        def body():
+            sim.request_update(a)
+            sim.request_update(a)
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        assert a.updates == 1
+
+    def test_flagged_channel_deduped_and_flag_cleared(self):
+        """Signals dedup via ``_update_requested``; the phase clears it."""
+        sim = Simulator()
+        sig = Signal(sim, 0, "s")
+
+        def body():
+            sig.write(1)
+            sig.write(2)
+            assert sig._update_requested
+            assert sum(1 for c in sim._update_queue if c is sig) == 1
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        assert not sig._update_requested
+        assert sig.read() == 2
+
+
+class TestNanUpdateAbsorbed:
+    def test_same_nan_commit_fires_value_changed_once(self):
+        sim = Simulator()
+        nan = float("nan")
+        sig = Signal(sim, 0.0, "s")
+        fires = []
+
+        def watcher():
+            while True:
+                yield sig.value_changed
+                fires.append(sim.now.femtoseconds)
+
+        def writer():
+            for _ in range(3):  # re-commits of the same NaN are absorbed
+                sig.write(nan)
+                yield ns(1)
+
+        sim.spawn("w", watcher, daemon=True)
+        sim.spawn("wr", writer)
+        sim.run()
+        assert fires == [0]
+        assert math.isnan(sig.read())
+
+    def test_change_away_from_nan_still_fires(self):
+        sim = Simulator()
+        sig = Signal(sim, float("nan"), "s")
+        fires = []
+
+        def watcher():
+            while True:
+                yield sig.value_changed
+                fires.append(sig.read())
+
+        def writer():
+            sig.write(1.0)
+            yield ns(1)
+
+        sim.spawn("w", watcher, daemon=True)
+        sim.spawn("wr", writer)
+        sim.run()
+        assert fires == [1.0]
+
+
+class TestTraceHookOncePerInstant:
+    def test_hook_injected_write_does_not_refire_hook(self):
+        sim = Simulator()
+        sig = Signal(sim, 0, "s")
+        calls = []  # (time_fs, committed value seen by the hook)
+
+        def hook(now):
+            calls.append((now.femtoseconds, sig.read()))
+            if len(calls) == 1:
+                sig.write(41)  # inject activity at the settled instant
+
+        sim.trace_hooks.append(hook)
+
+        def body():
+            sig.write(7)
+            yield ns(1)  # idle instant: the hook observes the injected 41
+            yield ns(1)  # resumes at 2 ns and immediately writes 42
+            sig.write(42)
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        # Golden sequence: one firing per finished instant.  The injected
+        # write commits at instant 0 (sig becomes 41) but is observed at
+        # the next firing, not by re-running the hooks at t=0.
+        assert calls == [
+            (0, 7),
+            (1_000_000, 41),
+            (2_000_000, 42),
+            (3_000_000, 42),
+        ]
+
+    def test_hook_injected_notification_wakes_process_same_instant(self):
+        """Injected activity still runs at the instant it was injected."""
+        sim = Simulator()
+        sig = Signal(sim, 0, "s")
+        woken = []
+
+        def watcher():
+            while True:
+                yield sig.value_changed
+                woken.append(sim.now.femtoseconds)
+
+        calls = []
+
+        def hook(now):
+            calls.append(now.femtoseconds)
+            if len(calls) == 1:
+                sig.write(1)
+
+        sim.trace_hooks.append(hook)
+        sim.spawn("w", watcher, daemon=True)
+
+        def body():
+            yield ns(1)
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        # The watcher woke at t=0 (the injected write settled there), and
+        # the hooks fired exactly once per instant with activity.
+        assert woken == [0]
+        assert calls == [0, 1_000_000, 2_000_000]

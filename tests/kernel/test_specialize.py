@@ -1,0 +1,358 @@
+"""Tests for the elaboration-time static scheduling fast path.
+
+Covers plan construction (classification and topological ranks), every
+fallback trigger (live hooks, dynamic calls, aliasing, stateful methods,
+``specialize=False``), mid-run despecialization, and the observable
+equivalence between the two schedulers on small designs.
+
+The module classes below are defined at file scope on purpose: the
+dataflow analyzer reads process bodies with ``inspect.getsource``, which
+only works for code that lives in a real file.
+"""
+
+import pytest
+
+from repro.kernel import Module, Signal, Simulator, ns
+
+
+class Stage(Module):
+    """out = src + 1, combinationally sensitive to src."""
+
+    def __init__(self, name, parent, src):
+        super().__init__(name, parent=parent)
+        self.src = src
+        self.out = Signal(self.sim, 0, f"{self.full_name}.out")
+        self.add_method(self.propagate, sensitivity=[src.value_changed], initialize=False)
+
+    def propagate(self):
+        self.out.write(self.src.read() + 1)
+
+
+class ChainTop(Module):
+    """A thread driving ``depth`` chained stages once per ns."""
+
+    def __init__(self, name, sim, depth=4, rounds=3):
+        super().__init__(name, sim=sim)
+        self.depth = depth
+        self.rounds = rounds
+        self.head = Signal(sim, 0, f"{name}.head")
+        src = self.head
+        for k in range(depth):
+            src = Stage(f"s{k}", self, src).out
+        self.tail = src
+        self.add_thread(self.drive)
+
+    def drive(self):
+        for i in range(self.rounds):
+            self.head.write(i + 1)
+            yield ns(1)
+
+
+class DiamondTop(Module):
+    """a fans out to two stages that reconverge: out = 3a + 10."""
+
+    def __init__(self, name, sim, rounds=4):
+        super().__init__(name, sim=sim)
+        self.rounds = rounds
+        self.a = Signal(sim, 0, f"{name}.a")
+        self.left = Signal(sim, 0, f"{name}.left")
+        self.right = Signal(sim, 0, f"{name}.right")
+        self.out = Signal(sim, 0, f"{name}.out")
+        self.add_method(self.go_left, sensitivity=[self.a.value_changed], initialize=False)
+        self.add_method(self.go_right, sensitivity=[self.a.value_changed], initialize=False)
+        self.add_method(
+            self.combine,
+            sensitivity=[self.left.value_changed, self.right.value_changed],
+            initialize=False,
+        )
+        self.add_thread(self.drive)
+
+    def go_left(self):
+        self.left.write(self.a.read() * 2)
+
+    def go_right(self):
+        self.right.write(self.a.read() + 10)
+
+    def combine(self):
+        self.out.write(self.left.read() + self.right.read())
+
+    def drive(self):
+        for i in range(self.rounds):
+            self.a.write(i + 1)
+            yield ns(1)
+
+
+class EdgeTapsTop(Module):
+    """Edge-sensitive methods: posedge/negedge taps on a toggling signal."""
+
+    def __init__(self, name, sim, rounds=6):
+        super().__init__(name, sim=sim)
+        self.rounds = rounds
+        self.t = Signal(sim, False, f"{name}.t")
+        self.p = Signal(sim, 0, f"{name}.p")
+        self.n = Signal(sim, 0, f"{name}.n")
+        self.add_method(self.on_pos, sensitivity=[self.t.posedge], initialize=False)
+        self.add_method(self.on_neg, sensitivity=[self.t.negedge], initialize=False)
+        self.add_thread(self.drive)
+
+    def on_pos(self):
+        self.p.write(1)
+
+    def on_neg(self):
+        self.n.write(2)
+
+    def drive(self):
+        level = False
+        for _ in range(self.rounds):
+            level = not level
+            self.t.write(level)
+            yield ns(1)
+
+
+class StatefulTop(Module):
+    """The reader method mutates module state — not provably pure."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.count = 0
+        self.s = Signal(sim, 0, f"{name}.s")
+        self.add_method(self.bump, sensitivity=[self.s.value_changed], initialize=False)
+        self.add_thread(self.drive)
+
+    def bump(self):
+        self.count = self.count + 1
+
+    def drive(self):
+        for i in range(3):
+            self.s.write(i + 1)
+            yield ns(1)
+
+
+class DynamicTop(Module):
+    """The driver thread spawns a process — dynamic process control."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.s = Signal(sim, 0, f"{name}.s")
+        self.add_thread(self.drive)
+
+    def helper(self):
+        yield ns(1)
+
+    def drive(self):
+        self.s.write(1)
+        self.sim.spawn("late", self.helper)
+        yield ns(1)
+
+
+def _run_chain(specialize, depth=4, rounds=3):
+    sim = Simulator(specialize=specialize)
+    top = ChainTop("chain", sim, depth=depth, rounds=rounds)
+    sim.run()
+    return sim, top
+
+
+class TestPlanConstruction:
+    def test_chain_specializes_with_topological_ranks(self):
+        sim, top = _run_chain(specialize=True)
+        assert sim._specialized
+        plan = sim.schedule_plan
+        assert plan is not None and plan.specializable
+        # head + the three inner stage outputs chain; the last output is
+        # silent (written, never read, nothing waits on its events).
+        assert len(plan.chained_signals) == top.depth
+        assert [s.name for s in plan.silent_signals] == [f"chain.s{top.depth - 1}.out"]
+        ranks = {proc.name: rank for proc, rank in plan.method_ranks}
+        assert ranks == {
+            f"chain.s{k}.propagate": k for k in range(top.depth)
+        }
+        assert plan.rank_count == top.depth
+
+    def test_diamond_reconvergence_ranks(self):
+        sim = Simulator()
+        top = DiamondTop("d", sim)
+        sim.run()
+        assert sim._specialized
+        ranks = {proc.name: rank for proc, rank in sim.schedule_plan.method_ranks}
+        assert ranks["d.combine"] > ranks["d.go_left"]
+        assert ranks["d.combine"] > ranks["d.go_right"]
+        assert top.out.read() == 3 * top.rounds + 10
+
+    def test_specialized_commits_counted(self):
+        sim, top = _run_chain(specialize=True)
+        # Every write commits a distinct value: rounds on the head plus
+        # rounds per stage output, none absorbed.
+        assert sim.stats.specialized_commits == top.rounds * (top.depth + 1)
+        generic_sim, _ = _run_chain(specialize=False)
+        assert generic_sim.stats.specialized_commits == 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("top_cls", [ChainTop, DiamondTop, EdgeTapsTop])
+    def test_same_results_both_paths(self, top_cls):
+        finals = {}
+        stats = {}
+        for specialize in (True, False):
+            sim = Simulator(specialize=specialize)
+            top = top_cls("t", sim)
+            sim.run()
+            assert sim._specialized is specialize
+            finals[specialize] = {
+                name: sig.read()
+                for name, sig in vars(top).items()
+                if isinstance(sig, Signal)
+            }
+            stats[specialize] = sim.stats.as_dict()
+        assert finals[True] == finals[False]
+        # Equivalence contract: wall-clock activity matches; the fast path
+        # may only *skip* queue work, never add any.
+        assert stats[True]["timed_activations"] == stats[False]["timed_activations"]
+        assert stats[True]["delta_cycles"] <= stats[False]["delta_cycles"]
+        assert stats[True]["signal_updates"] <= stats[False]["signal_updates"]
+        assert stats[True]["process_executions"] <= stats[False]["process_executions"]
+        assert stats[True]["specialized_commits"] > 0
+
+    def test_fast_path_skips_queue_round_trips(self):
+        sim, top = _run_chain(specialize=True)
+        assert sim.stats.delta_cycles == 0
+        assert sim.stats.signal_updates == 0
+        assert top.tail.read() == top.rounds + top.depth
+
+
+class TestFallbackTriggers:
+    def test_spawn_only_design(self):
+        sim = Simulator()
+
+        def body():
+            yield ns(1)
+
+        sim.spawn("p", body)
+        sim.run()
+        assert not sim._specialized
+        assert sim.specialize_fallback_reasons == [
+            "no module hierarchy (spawn-only design)"
+        ]
+
+    def test_specialize_false_skips_analysis_entirely(self):
+        sim, top = _run_chain(specialize=False)
+        assert not sim._specialized
+        assert sim.schedule_plan is None
+        assert sim.specialize_fallback_reasons == []
+        assert top.tail.read() == top.rounds + top.depth
+
+    def test_write_hook_armed_before_run(self):
+        sim = Simulator()
+        top = ChainTop("chain", sim)
+        top.head.write_hook = lambda sig, value: None
+        sim.run()
+        assert not sim._specialized
+        assert any("write hook" in r for r in sim.specialize_fallback_reasons)
+
+    def test_fault_hook_armed_before_run(self):
+        sim = Simulator()
+        ChainTop("chain", sim).fault_hook = lambda *args: None
+        sim.run()
+        assert not sim._specialized
+        assert any("fault hook" in r for r in sim.specialize_fallback_reasons)
+
+    def test_dynamic_process_control_rejected_at_plan_time(self):
+        sim = Simulator()
+        DynamicTop("d", sim)
+        sim.run()
+        assert not sim._specialized
+        assert any(
+            "dynamic process-control" in r for r in sim.specialize_fallback_reasons
+        )
+
+    def test_free_function_process_is_opaque(self):
+        sim = Simulator()
+        ChainTop("chain", sim)
+        extra = Signal(sim, 0, "extra")
+
+        def closure():
+            extra.write(1)
+            yield ns(1)
+
+        sim.spawn("free", closure)
+        sim.run()
+        assert not sim._specialized
+        # The closure cannot be attributed to a module, so its waits and
+        # signal accesses are unresolvable — rejected wholesale.
+        assert any("process free" in r for r in sim.specialize_fallback_reasons)
+
+    def test_stateful_method_leaves_no_eligible_signals(self):
+        sim = Simulator()
+        top = StatefulTop("st", sim)
+        sim.run()
+        assert not sim._specialized
+        assert any(
+            "no signals eligible" in r for r in sim.specialize_fallback_reasons
+        )
+        assert top.count == 3  # the design still behaves normally
+
+
+class TestDespecialization:
+    def test_mid_run_spawn_reverts_to_generic(self):
+        # A trace hook injecting a spawn models instrumentation the plan
+        # could not have seen (processes with dynamic calls are already
+        # rejected at plan time).
+        sim = Simulator()
+        top = ChainTop("chain", sim, depth=3, rounds=4)
+        ran = []
+
+        def late():
+            ran.append(sim.now.femtoseconds)
+            yield ns(1)
+
+        def hook(now):
+            if now.femtoseconds == 1_000_000 and not ran:
+                sim.spawn("late", late)
+
+        sim.trace_hooks.append(hook)
+        sim.run()
+        assert not sim._specialized  # reverted wholesale
+        assert any("dynamic process" in r for r in sim.specialize_fallback_reasons)
+        assert ran == [1_000_000]
+        # The run completed correctly across the revert.
+        assert top.tail.read() == top.rounds + top.depth
+        assert sim.stats.specialized_commits > 0  # fast path was active first
+
+    def test_mid_run_trace_callback_attach_reverts(self):
+        sim = Simulator()
+        top = ChainTop("chain", sim, depth=3, rounds=4)
+        observed = []
+
+        def on_tail(now, value):
+            observed.append((now.femtoseconds, value))
+
+        attached = []
+
+        def hook(now):
+            if now.femtoseconds == 1_000_000 and not attached:
+                attached.append(1)
+                top.tail.on_update(on_tail)
+
+        sim.trace_hooks.append(hook)
+        sim.run()
+        assert not sim._specialized
+        assert top.tail.read() == top.rounds + top.depth
+        # The callback observes every committed change after attachment:
+        # at t ns the drive thread has written t+1, so tail = t+1+depth.
+        assert observed == [
+            (2_000_000, 3 + top.depth),
+            (3_000_000, 4 + top.depth),
+        ]
+
+    def test_buckets_flushed_on_revert(self):
+        # After a revert no static-schedule state may linger.
+        sim = Simulator()
+        ChainTop("chain", sim)
+        sim.initialize()
+        assert sim._specialized
+        sim._despecialize("test-forced revert")
+        assert not sim._specialized
+        assert sim._pending_buckets == []
+        assert sim._pending_count == 0
+        assert sim._fast_signals == []
+        sim.run()  # completes on the generic path
+        assert sim.stats.specialized_commits == 0

@@ -22,6 +22,13 @@ perf trajectory to compare against:
 ``bus_transaction``
     Full-stack bus writes through arbiter + memory — a macro workload
     representative of the paper's bus-cycle-accurate models.
+``method_chain``
+    A thread driving a chain of combinational method processes through
+    single-writer signals — the interface-method hot path the
+    elaboration-time static scheduler (kernel/specialize.py) targets.
+    Measured both ways: the committed number runs specialized (the
+    default), and ``--check`` additionally verifies the specialized path
+    beats ``specialize=False`` by at least 2x with identical results.
 
 Usage::
 
@@ -49,7 +56,7 @@ if __name__ == "__main__" and __package__ is None:
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.bus import Bus, Memory
-from repro.kernel import Event, Signal, Simulator, ns
+from repro.kernel import Event, Module, Signal, Simulator, ns
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_kernel.json")
@@ -168,6 +175,60 @@ def run_delta_heavy(n: int, waiters: int = 100) -> int:
     return wakeups
 
 
+CHAIN_DEPTH = 16
+
+
+class _ChainStage(Module):
+    """One combinational stage: out = src + 1, sensitive to src."""
+
+    def __init__(self, name, parent, src):
+        super().__init__(name, parent=parent)
+        self.src = src
+        self.out = Signal(self.sim, 0, f"{self.full_name}.out")
+        self.add_method(self.propagate, sensitivity=[src.value_changed], initialize=False)
+
+    def propagate(self):
+        self.out.write(self.src.read() + 1)
+
+
+class _MethodChain(Module):
+    """A thread driving ``depth`` chained method stages once per ns."""
+
+    def __init__(self, name, sim, depth, rounds):
+        super().__init__(name, sim=sim)
+        self.rounds = rounds
+        self.head = Signal(sim, 0, f"{name}.head")
+        src = self.head
+        for k in range(depth):
+            src = _ChainStage(f"s{k}", self, src).out
+        self.tail = src
+        self.add_thread(self.drive)
+
+    def drive(self):
+        for i in range(self.rounds):
+            self.head.write(i + 1)
+            yield ns(1)
+
+
+def run_method_chain(n: int, specialize: bool = True) -> int:
+    """``n`` signal-propagation hops through the method chain."""
+    depth = CHAIN_DEPTH
+    rounds = max(1, n // depth)
+    sim = Simulator(specialize=specialize)
+    top = _MethodChain("chain", sim, depth, rounds)
+    sim.run()
+    assert top.tail.read() == rounds + depth, "chain produced a wrong value"
+    if specialize:
+        assert sim._specialized, (
+            f"method_chain failed to specialize: {sim.specialize_fallback_reasons}"
+        )
+    return rounds * depth
+
+
+def run_method_chain_generic(n: int) -> int:
+    return run_method_chain(n, specialize=False)
+
+
 def run_bus_transactions(n: int) -> int:
     sim = Simulator()
     bus = Bus("bus", sim=sim, clock_freq_hz=100e6)
@@ -190,7 +251,28 @@ WORKLOADS: Dict[str, tuple] = {
     "signal_fanout": (run_signal_fanout, 30_000, 5_000),
     "delta_heavy": (run_delta_heavy, 30_000, 5_000),
     "bus_transaction": (run_bus_transactions, 4_000, 500),
+    "method_chain": (run_method_chain, 48_000, 8_000),
 }
+
+#: --check fails when specialized/generic throughput on method_chain drops
+#: below this ratio (the PR's acceptance floor).
+SPECIALIZE_MIN_SPEEDUP = 2.0
+
+
+def measure_specialization(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
+    """Generic-vs-specialized comparison on the method_chain workload."""
+    _fn, n, quick_n = WORKLOADS["method_chain"]
+    size = quick_n if quick else n
+    generic = measure(run_method_chain_generic, size, repeats=repeats)
+    specialized = measure(run_method_chain, size, repeats=repeats)
+    return {
+        "workload": "method_chain",
+        "generic": generic,
+        "specialized": specialized,
+        "speedup": round(
+            specialized["events_per_sec"] / generic["events_per_sec"], 2
+        ),
+    }
 
 
 def measure(fn: Callable[[int], int], n: int, repeats: int = 3) -> Dict[str, float]:
@@ -237,6 +319,7 @@ def write_baseline(
     results: Dict[str, Dict[str, float]],
     seed_baseline: Optional[Dict[str, Dict[str, float]]],
     quick_results: Optional[Dict[str, Dict[str, float]]] = None,
+    specialization: Optional[Dict[str, object]] = None,
 ) -> dict:
     doc = {
         "schema": SCHEMA,
@@ -249,6 +332,8 @@ def write_baseline(
         # the smoke comparison is apples-to-apples (short runs amortize
         # elaboration differently and report lower events/sec).
         doc["quick_workloads"] = quick_results
+    if specialization:
+        doc["specialization"] = specialization
     if seed_baseline:
         doc["seed_baseline"] = seed_baseline
         doc["speedup_vs_seed"] = {
@@ -289,6 +374,15 @@ def report(
         print(f"{name:>16} {row['n']:>8} {eps:>12,.0f} {vs_committed:>13} {vs_seed:>9}")
 
 
+def report_specialization(spec: Dict[str, object]) -> None:
+    generic = spec["generic"]["events_per_sec"]
+    fast = spec["specialized"]["events_per_sec"]
+    print(f"\nstatic-schedule specialization (method_chain, n={spec['generic']['n']}):")
+    print(f"  generic     {generic:>12,.0f} events/s")
+    print(f"  specialized {fast:>12,.0f} events/s")
+    print(f"  speedup     {spec['speedup']:>11.2f}x  (floor: {SPECIALIZE_MIN_SPEEDUP}x)")
+
+
 def check(results: Dict[str, Dict[str, float]], baseline: Optional[dict]) -> int:
     """CI smoke mode: fail (non-zero) on >30% regression vs the baseline."""
     if baseline is None:
@@ -313,13 +407,28 @@ def check(results: Dict[str, Dict[str, float]], baseline: Optional[dict]) -> int
                 f"{floor:,.0f} ev/s ({CHECK_THRESHOLD:.0%} of committed "
                 f"{committed[name]['events_per_sec']:,.0f})"
             )
+    rc = 0
     if failures:
         print("check: THROUGHPUT REGRESSION (>30% below committed baseline):")
         print("\n".join(failures))
-        return 1
-    print(f"check: ok — all {len(results)} workloads within "
-          f"{1 - CHECK_THRESHOLD:.0%} of the committed baseline")
-    return 0
+        rc = 1
+    else:
+        print(f"check: ok — all {len(results)} workloads within "
+              f"{1 - CHECK_THRESHOLD:.0%} of the committed baseline")
+    spec = measure_specialization(quick=True, repeats=3)
+    if spec["speedup"] < SPECIALIZE_MIN_SPEEDUP:
+        # Same noise allowance as above: re-measure before failing.
+        spec = measure_specialization(quick=True, repeats=6)
+    if spec["speedup"] < SPECIALIZE_MIN_SPEEDUP:
+        print(f"check: SPECIALIZATION REGRESSION: method_chain specialized path "
+              f"is only {spec['speedup']:.2f}x the generic path "
+              f"(floor {SPECIALIZE_MIN_SPEEDUP}x)")
+        rc = 1
+    else:
+        print(f"check: specialization ok — method_chain specialized path is "
+              f"{spec['speedup']:.2f}x the generic path "
+              f"(floor {SPECIALIZE_MIN_SPEEDUP}x)")
+    return rc
 
 
 def main(argv=None) -> int:
@@ -350,6 +459,8 @@ def main(argv=None) -> int:
     if args.check:
         return check(results, baseline)
     report(results, baseline, quick=args.quick)
+    spec = measure_specialization(quick=args.quick, repeats=args.repeats)
+    report_specialization(spec)
     if args.write:
         if args.seed_baseline:
             with open(args.seed_baseline, "r", encoding="utf-8") as fh:
@@ -359,7 +470,8 @@ def main(argv=None) -> int:
         quick_results = (
             results if args.quick else run_all(quick=True, repeats=args.repeats)
         )
-        write_baseline(args.baseline, results, seed, quick_results=quick_results)
+        write_baseline(args.baseline, results, seed,
+                       quick_results=quick_results, specialization=spec)
         print(f"\nwrote {args.baseline}")
     return 0
 

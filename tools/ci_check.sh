@@ -5,7 +5,10 @@
 #
 # Steps:
 #   1. tier-1 test suite
-#   2. kernel throughput smoke (>30% regression vs BENCH_kernel.json fails)
+#   2. kernel throughput smoke (>30% regression vs BENCH_kernel.json fails;
+#      also asserts the specialized static-schedule path stays >=2x the
+#      generic scheduler on method_chain) plus the generic-vs-specialized
+#      equivalence matrix
 #   3. ruff check (skipped with a notice when ruff is not installed)
 #   4. static model lint over every example architecture, including the
 #      opt-in REP4xx dataflow layer (must be clean), plus a wall-clock
@@ -21,8 +24,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== 1/6 tier-1 tests =="
 python -m pytest tests -q
 
-echo "== 2/6 kernel throughput check =="
+echo "== 2/6 kernel throughput + scheduler equivalence check =="
 python tools/bench_kernel.py --check
+python -m pytest tests/integration/test_scheduler_equivalence.py -q
 
 echo "== 3/6 ruff =="
 if command -v ruff >/dev/null 2>&1; then
