@@ -1,5 +1,14 @@
 """Post-run analysis: metric aggregation, deadlock diagnosis, static lint."""
 
+from .cfg import (
+    Cfg,
+    FunctionControlFlow,
+    ProcessControlFlow,
+    WaitStateMachine,
+    analyze_function,
+    analyze_process,
+    proven_single_instant_writer,
+)
 from .dataflow import (
     DesignDataflow,
     ProcessSummary,
@@ -26,20 +35,27 @@ from .metrics import RunReport, collect_run_metrics, per_context_rows, speedup
 
 __all__ = [
     "BlockedProcess",
+    "Cfg",
     "DEADLOCK_RULE_CODE",
     "DeadlockReport",
     "DesignDataflow",
     "Diagnostic",
+    "FunctionControlFlow",
     "LintContext",
     "LintReport",
+    "ProcessControlFlow",
     "ProcessSummary",
     "RULES",
     "Rule",
     "RunReport",
     "SchedulePlan",
     "SignalUse",
+    "WaitStateMachine",
     "all_rule_codes",
+    "analyze_function",
+    "analyze_process",
     "build_schedule_plan",
+    "proven_single_instant_writer",
     "collect_run_metrics",
     "cross_check",
     "diagnose",

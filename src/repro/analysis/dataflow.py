@@ -50,6 +50,7 @@ from ..kernel import (
     SimTime,
     Simulator,
     events_of,
+    ports_of,
     processes_of,
     signals_of,
     us,
@@ -723,19 +724,34 @@ class SchedulePlan:
     dependent methods per event kind (value_changed, posedge, negedge) in
     registration order, and ``method_ranks`` assigns those methods a
     topological rank so one forward sweep per evaluation phase settles the
-    whole combinational wave.  A non-empty ``fallback_reasons`` means the
-    design must run on the generic scheduler; the decision is wholesale —
-    a single unprovable construct anywhere rejects the entire design, so
-    the two paths can never mix semantics.
+    whole combinational wave.  ``register_signals`` are register-style
+    nets between clocked methods: their writes stay staged (readers in the
+    same instant keep seeing the old value, which is what makes them
+    registers) but the plan proved nothing observes their events, so the
+    update skips the notification scan.
+
+    A non-empty ``fallback_reasons`` means the design must run on the
+    generic scheduler; the decision is wholesale — a single unprovable
+    construct anywhere rejects the entire design, so the two paths can
+    never mix semantics.  ``exclusions`` is finer grained: per-signal
+    reasons why an otherwise-interesting net was left on the generic
+    commit protocol (multiple writers — including port-bound nets resolved
+    through ``binding_chain()`` — or a writer the CFG layer could not
+    prove writes at most once per instant); an excluded signal does not by
+    itself reject the design.
     """
 
     fallback_reasons: List[str] = field(default_factory=list)
+    #: Per-signal admission failures (informational; not a wholesale bail).
+    exclusions: List[str] = field(default_factory=list)
     summaries: List[ProcessSummary] = field(default_factory=list)
     silent_signals: List[Signal] = field(default_factory=list)
     #: ``(signal, (value_changed_deps, posedge_deps, negedge_deps))``
     chained_signals: List[Tuple[Signal, Tuple[tuple, tuple, tuple]]] = field(
         default_factory=list
     )
+    #: Register-style signals: staged commit kept, notification scan skipped.
+    register_signals: List[Signal] = field(default_factory=list)
     #: ``(method_process, rank)`` for every chained method.
     method_ranks: List[Tuple[object, int]] = field(default_factory=list)
     rank_count: int = 0
@@ -744,7 +760,7 @@ class SchedulePlan:
     def specializable(self) -> bool:
         """True when the fast path applies (no fallback, something to gain)."""
         return not self.fallback_reasons and bool(
-            self.silent_signals or self.chained_signals
+            self.silent_signals or self.chained_signals or self.register_signals
         )
 
 
@@ -760,12 +776,24 @@ def build_schedule_plan(sim: Simulator) -> SchedulePlan:
     process, which never reads it back in the same body; no trace
     callbacks or write hook; no thread ever waits on (or anything
     notifies) its events; and every reader is a method process statically
-    sensitive to it.  A method is chainable when it is combinational —
+    sensitive to it.  Observed (chained) signals additionally need the
+    CFG layer's write-count proof on their writer — at most one write per
+    instant for a thread (a live :class:`~repro.kernel.Clock` toggle
+    qualifies via its positive phase durations), at most one per
+    activation for a method — because in-place commits mark dependents
+    per write where the generic path absorbs a pulse in one staged
+    update.  A method is chainable when it is combinational —
     stateless, non-blocking, notifies nothing — and all the signals it
     touches stay inside the eligible set (reads restricted to its own
-    sensitivity or constant signals).  The two sets are pruned to a
+    sensitivity or constant signals).  *Sequential* methods — chainable
+    methods clocked entirely by proven thread-driven nets — may
+    additionally read and write register-style signals: unobservable
+    nets that keep the staged-commit protocol.  All sets are pruned to a
     mutual fixpoint, then ranked longest-path over writer->reader edges;
-    a combinational cycle rejects the design wholesale.
+    a combinational cycle rejects the design wholesale.  Per-signal
+    admission failures worth reporting (multi-writer nets, failed writer
+    proofs) are recorded in ``plan.exclusions`` without rejecting the
+    design.
     """
     plan = SchedulePlan()
     reasons = plan.fallback_reasons
@@ -810,16 +838,39 @@ def build_schedule_plan(sim: Simulator) -> SchedulePlan:
         for module in (top, *top.descendants()):
             for sig in signals_of(module).values():
                 sig_by_id.setdefault(id(sig), sig)
+            # Chase each port's binding chain so port-bound nets are
+            # analyzed like locally-owned ones: a signal reachable only
+            # through ports still takes part in multi-writer accounting
+            # and zero-writer (constant) classification.
+            for port in ports_of(module):
+                _, impl = port.binding_chain()
+                if isinstance(impl, Signal):
+                    sig_by_id.setdefault(id(impl), impl)
 
     waited_ids = {id(e) for s in summaries for e in s.waited_events}
     notified_ids = {id(e) for s in summaries for e in s.notified_events}
     method_summaries = {id(s.process): s for s in summaries if s.kind == "method"}
 
     # -- initial candidate signals ------------------------------------------
+    # Lazy import: repro.analysis.cfg imports helpers from this module.
+    from .cfg import analyze_process, proven_single_instant_writer
+
     candidates: Dict[int, Signal] = {}
+    exclusions = plan.exclusions
+    flow_cache: Dict[int, object] = {}
+
+    def _writer_flow(summary: ProcessSummary):
+        pid = id(summary.process)
+        if pid not in flow_cache:
+            flow_cache[pid] = analyze_process(summary.process)
+        return flow_cache[pid]
+
     for sid, sig in sig_by_id.items():
         writers = writer_of.get(sid, [])
         if len(writers) != 1:
+            if len(writers) > 1:
+                names = ", ".join(sorted(w.name for w in writers))
+                exclusions.append(f"signal {sig.name}: multiple writers ({names})")
             continue
         writer = writers[0]
         if any(r is sig for r in writer.signal_reads):
@@ -849,8 +900,60 @@ def build_schedule_plan(sim: Simulator) -> SchedulePlan:
             ):
                 ok = False  # a reader the wave would not re-run
                 break
-        if ok:
-            candidates[sid] = sig
+        if not ok:
+            continue
+        # An observed signal commits in place on the fast path, so every
+        # commit marks dependents immediately — whereas the generic path
+        # absorbs a write-then-overwrite pulse in one staged update and
+        # fires nothing.  Admission therefore needs the CFG layer's proof
+        # that the writer commits at most once per instant (threads) or
+        # per activation (methods).  Unobserved (silent) signals need no
+        # proof: in-place multi-commits are invisible.
+        if any(e._static_waiters for e in events):
+            if writer.kind == "thread":
+                proven, why = proven_single_instant_writer(writer.process, sig)
+                if not proven:
+                    exclusions.append(
+                        f"signal {sig.name}: thread writer {writer.name}: {why}"
+                    )
+                    continue
+            else:
+                flow = _writer_flow(writer)
+                if flow.unresolved:
+                    exclusions.append(
+                        f"signal {sig.name}: writer {writer.name}: "
+                        f"control flow unresolved: {flow.reason}"
+                    )
+                    continue
+                count = flow.live_write_counts().get(id(sig), (sig, 0))[1]
+                if count > 1:
+                    exclusions.append(
+                        f"signal {sig.name}: writer {writer.name} may write "
+                        f"it more than once per activation"
+                    )
+                    continue
+        candidates[sid] = sig
+
+    # -- register-eligible signals ------------------------------------------
+    # A register-style net keeps the staged-commit protocol (readers in
+    # the same instant must see the old value), so multiple writers and
+    # read-backs are all fine; what matters is that its events are
+    # provably unobservable, making the notification scan skippable, and
+    # — checked inside the fixpoint below — that every access comes from a
+    # clocked (sequential) method so commit timing shifts uniformly
+    # between the two schedulers.
+    register_eligible: Dict[int, Signal] = {}
+    for sid, sig in sig_by_id.items():
+        if sid not in writer_of or sid in candidates:
+            continue
+        if sig._trace_callbacks or sig.write_hook is not None:
+            continue
+        events = sig.events()
+        if any(id(e) in waited_ids or id(e) in notified_ids for e in events):
+            continue
+        if any(e._static_waiters or e._dynamic_waiters for e in events):
+            continue
+        register_eligible[sid] = sig
 
     # -- initial chainable methods ------------------------------------------
     chainable: Dict[int, ProcessSummary] = {}
@@ -874,6 +977,8 @@ def build_schedule_plan(sim: Simulator) -> SchedulePlan:
         for sid, sig in sig_by_id.items()
         if sid not in writer_of and not sig._update_requested
     }
+    seq_pids: Set[int] = set()
+    register_ids: Set[int] = set()
     changed = True
     while changed:
         changed = False
@@ -881,13 +986,41 @@ def build_schedule_plan(sim: Simulator) -> SchedulePlan:
         for sid, sig in candidates.items():
             for event in sig.events():
                 cand_event_ids[id(event)] = sid
+        # Sequential (clocked) methods: every sensitivity event belongs to
+        # a candidate net driven by a proven single-instant-writer thread
+        # (a clock).  Such methods run exactly when the clock commits — in
+        # the commit's own evaluation phase on the fast path, one delta
+        # later on the generic path — so every register they touch shifts
+        # commit timing by the same uniform delta and reads stay
+        # equivalent on both schedulers.
+        seq_pids = set()
+        for pid, summary in chainable.items():
+            sens = summary.process.static_sensitivity
+            if sens and all(
+                id(e) in cand_event_ids
+                and writer_of[cand_event_ids[id(e)]][0].kind == "thread"
+                for e in sens
+            ):
+                seq_pids.add(pid)
+        register_ids = {
+            sid
+            for sid in register_eligible
+            if all(id(s.process) in seq_pids for s in writer_of.get(sid, []))
+            and all(id(s.process) in seq_pids for s in readers_of.get(sid, []))
+        }
         for pid, summary in list(chainable.items()):
             proc = summary.process
+            is_seq = pid in seq_pids
             ok = all(id(e) in cand_event_ids for e in proc.static_sensitivity)
             if ok:
                 sens_sids = {cand_event_ids[id(e)] for e in proc.static_sensitivity}
-                ok = all(id(sig) in candidates for sig in summary.signal_writes) and all(
-                    id(sig) in sens_sids or id(sig) in zero_writer_ids
+                ok = all(
+                    id(sig) in candidates or (is_seq and id(sig) in register_ids)
+                    for sig in summary.signal_writes
+                ) and all(
+                    id(sig) in sens_sids
+                    or id(sig) in zero_writer_ids
+                    or (is_seq and id(sig) in register_ids)
                     for sig in summary.signal_reads
                 )
             if not ok:
@@ -942,8 +1075,12 @@ def build_schedule_plan(sim: Simulator) -> SchedulePlan:
             plan.chained_signals.append((sig, deps))
         else:
             plan.silent_signals.append(sig)
+    plan.register_signals = [
+        sig for sid, sig in register_eligible.items() if sid in register_ids
+    ]
     if not plan.silent_signals and not plan.chained_signals:
         reasons.append("no signals eligible for static scheduling")
+        plan.register_signals = []
     return plan
 
 

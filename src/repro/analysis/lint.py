@@ -35,13 +35,21 @@ Entry point: :func:`run_lint` (also ``python -m repro lint``).
 from __future__ import annotations
 
 import inspect
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..bus import Bus, BusMasterIf, BusSlaveIf
 from ..core.drcf import Drcf
 from ..core.netlist import ComponentSpec, ElaboratedDesign, Netlist
-from ..kernel import Module, Simulator, ports_of
+from ..kernel import Module, Simulator, ports_of, processes_of, signals_of
+from .cfg import (
+    ProcessControlFlow,
+    analyze_process,
+    one_sided_wait_branches,
+    unreachable_statements,
+    waitless_loops,
+    write_coverage,
+)
 from .dataflow import DesignDataflow
 
 #: The code of the limitation-3 (blocking-bus deadlock) precondition rule.
@@ -55,9 +63,21 @@ SEVERITIES = ("error", "warning", "info")
 
 #: Rule layers, in the order the engine runs them.  ``meta`` rules are
 #: emitted by the engine itself (elaboration/rule failures), not checked.
-#: The ``dataflow`` layer (REP4xx, process-body analysis) is opt-in:
-#: :func:`run_lint` only runs it with ``dataflow=True``.
-LAYERS = ("netlist", "transform", "design", "drcf", "dataflow", "meta")
+#: The ``dataflow`` layer (REP4xx, process-body analysis) and the ``cfg``
+#: layer (REP5xx, control-flow analysis) are opt-in: :func:`run_lint` only
+#: runs them with ``dataflow=True`` / ``cfg=True``.
+LAYERS = ("netlist", "transform", "design", "drcf", "dataflow", "cfg", "meta")
+
+#: How registry layers appear on diagnostics (the ``layer`` field in
+#: ``--json`` output): the pre-elaboration/design/DRCF/meta layers are all
+#: part of the always-on core; the opt-in analysis layers keep their name
+#: so CI diffs can attribute regressions to the layer that found them.
+_DISPLAY_LAYERS = {"dataflow": "dataflow", "cfg": "cfg"}
+
+
+def display_layer(layer: str) -> str:
+    """The diagnostic-facing layer name (``core``/``dataflow``/``cfg``)."""
+    return _DISPLAY_LAYERS.get(layer, "core")
 
 
 # --------------------------------------------------------------------------
@@ -66,13 +86,19 @@ LAYERS = ("netlist", "transform", "design", "drcf", "dataflow", "meta")
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding: a stable code, a severity, a location and a fix hint."""
+    """One finding: a stable code, a severity, a location and a fix hint.
+
+    ``layer`` names the analysis layer that produced the finding
+    (``core``, ``dataflow`` or ``cfg``) so machine consumers can attribute
+    regressions when the opt-in layers are toggled.
+    """
 
     code: str
     severity: str  # one of SEVERITIES
     message: str
     location: str = ""
     hint: str = ""
+    layer: str = "core"
 
     def render(self) -> str:
         """One line (two with a hint): ``REP102 error top.fir: message``."""
@@ -143,13 +169,18 @@ CheckResult = Union[Diagnostic, Tuple[str, str], Tuple[str, str, str]]
 
 @dataclass(frozen=True)
 class Rule:
-    """A registered check: stable code, layer, default severity, summary."""
+    """A registered check: stable code, layer, default severity, summary.
+
+    ``example`` is an optional minimal triggering snippet shown by
+    ``python -m repro lint --explain REPnnn``.
+    """
 
     code: str
     layer: str
     severity: str
     summary: str
     check: Optional[Callable[["LintContext"], Iterable[CheckResult]]]
+    example: str = ""
 
 
 #: All registered rules by code.  Mutated only through register_rule().
@@ -168,11 +199,15 @@ def register_rule(entry: Rule) -> Rule:
     return entry
 
 
-def rule(code: str, *, layer: str, severity: str = "error", summary: str = ""):
+def rule(
+    code: str, *, layer: str, severity: str = "error", summary: str = "", example: str = ""
+):
     """Decorator registering a check function under ``code``."""
 
     def decorate(fn: Callable) -> Callable:
-        register_rule(Rule(code, layer, severity, summary or (fn.__doc__ or "").strip(), fn))
+        register_rule(
+            Rule(code, layer, severity, summary or (fn.__doc__ or "").strip(), fn, example)
+        )
         return fn
 
     return decorate
@@ -200,6 +235,7 @@ class LintContext:
     candidates: Optional[List[str]] = None
     config_memory: Optional[str] = None
     _dataflow: Optional[DesignDataflow] = field(default=None, repr=False)
+    _cfg: Optional[List[ProcessControlFlow]] = field(default=None, repr=False)
 
     def dataflow_analysis(self) -> DesignDataflow:
         """The process-body dataflow analysis of the elaborated design.
@@ -212,6 +248,25 @@ class LintContext:
                 raise ValueError("no elaborated design to analyze")
             self._dataflow = DesignDataflow(self.top)
         return self._dataflow
+
+    def cfg_analysis(self) -> List[ProcessControlFlow]:
+        """Control-flow analysis of every registered process, name-sorted.
+
+        Built on first use and cached; every REP5xx rule shares one CFG
+        pass per process body (unresolved bodies carry a reason, never
+        raise).
+        """
+        if self._cfg is None:
+            if self.top is None:
+                raise ValueError("no elaborated design to analyze")
+            flows = [
+                analyze_process(p)
+                for module in (self.top, *self.top.descendants())
+                for p in processes_of(module)
+            ]
+            flows.sort(key=lambda pcf: pcf.name)
+            self._cfg = flows
+        return self._cfg
 
 
 # --------------------------------------------------------------------------
@@ -238,11 +293,12 @@ def _enabled(code: str, select: Optional[List[str]], ignore: Optional[List[str]]
 
 
 def _as_diagnostic(entry: Rule, item: CheckResult) -> Diagnostic:
+    layer = display_layer(entry.layer)
     if isinstance(item, Diagnostic):
-        return item
+        return item if item.layer == layer else replace(item, layer=layer)
     location, message = item[0], item[1]
     hint = item[2] if len(item) > 2 else ""
-    return Diagnostic(entry.code, entry.severity, message, location, hint)
+    return Diagnostic(entry.code, entry.severity, message, location, hint, layer)
 
 
 def _run_layer(
@@ -282,6 +338,7 @@ def run_lint(
     config_memory: Optional[str] = None,
     elaborate: bool = True,
     dataflow: bool = False,
+    cfg: bool = False,
     select: Union[str, Iterable[str], None] = None,
     ignore: Union[str, Iterable[str], None] = None,
 ) -> LintReport:
@@ -306,6 +363,10 @@ def run_lint(
     dataflow:
         Set True to also run the process-body dataflow rules (REP4xx);
         they parse every process function, so they are opt-in.
+    cfg:
+        Set True to also run the control-flow rules (REP5xx); they build a
+        CFG and wait-state machine per process body (on top of the
+        dataflow analysis, which is built as needed), so they are opt-in.
     select, ignore:
         Code prefixes (comma-separated string or iterable) enabling or
         suppressing rules; ``ignore`` wins over ``select``.
@@ -356,6 +417,24 @@ def run_lint(
                     )
             else:
                 _run_layer("dataflow", ctx, select_list, ignore_list, diagnostics)
+        if cfg:
+            try:
+                # REP503/505/506 correlate control flow with the dataflow
+                # summaries, so both analyses must be buildable.
+                ctx.dataflow_analysis()
+                ctx.cfg_analysis()
+            except Exception as exc:
+                if _enabled("REP001", select_list, ignore_list):
+                    diagnostics.append(
+                        Diagnostic(
+                            "REP001",
+                            "error",
+                            f"control-flow analysis failed: {exc}",
+                            location="cfg",
+                        )
+                    )
+            else:
+                _run_layer("cfg", ctx, select_list, ignore_list, diagnostics)
     diagnostics.sort(key=lambda d: (d.code, d.location, d.message))
     return LintReport(diagnostics)
 
@@ -1081,3 +1160,312 @@ def _check_drcf_reachable(ctx: LintContext) -> Iterator[CheckResult]:
                 f"(contexts: {context_names}) are statically unreachable",
                 "attach a master (e.g. a CPU) to the fabric's bus",
             )
+
+
+# --------------------------------------------------------------------------
+# CFG-layer rules (control-flow analysis; opt-in via run_lint(cfg=True))
+# --------------------------------------------------------------------------
+
+def _edge_signal_map(ctx: LintContext) -> Dict[int, object]:
+    """``id(edge event) -> signal`` for every signal in the design,
+    including signals only reachable through port bindings (the dataflow
+    summaries already resolved those)."""
+    analysis = ctx.dataflow_analysis()
+    edge_of: Dict[int, object] = {}
+
+    def add(sig) -> None:
+        edge_of[id(sig.posedge)] = sig
+        edge_of[id(sig.negedge)] = sig
+
+    for module in analysis.modules:
+        for sig in signals_of(module).values():
+            add(sig)
+    for summary in analysis.summaries:
+        for sig in (*summary.signal_writes, *summary.signal_reads):
+            add(sig)
+    return edge_of
+
+
+def _clock_domains(ctx: LintContext):
+    """``(clock_ids, domains)``: thread-toggled signals that clock at least
+    one method, and per-method-process the set of clock-signal ids whose
+    edges appear in its static sensitivity."""
+    analysis = ctx.dataflow_analysis()
+    edge_of = _edge_signal_map(ctx)
+    method_summaries = [s for s in analysis.summaries if s.kind == "method"]
+    sens_ids = [
+        {id(e) for e in getattr(s.process, "static_sensitivity", ())}
+        for s in method_summaries
+    ]
+    clock_ids: set = set()
+    for use in analysis.signal_uses():
+        if not any(w.kind == "thread" for w in use.writers):
+            continue
+        pos, neg = id(use.signal.posedge), id(use.signal.negedge)
+        if any(pos in sens or neg in sens for sens in sens_ids):
+            clock_ids.add(id(use.signal))
+    domains: Dict[int, frozenset] = {}
+    for summary, sens in zip(method_summaries, sens_ids):
+        domains[id(summary.process)] = frozenset(
+            id(edge_of[event_id])
+            for event_id in sens
+            if event_id in edge_of and id(edge_of[event_id]) in clock_ids
+        )
+    return clock_ids, domains
+
+
+@rule(
+    "REP501",
+    layer="cfg",
+    severity="warning",
+    summary="zero-delay livelock: infinite loop with a wait-free back edge",
+    example=(
+        "def poll(self):\n"
+        "    while True:\n"
+        "        if self.ready.read():\n"
+        "            yield self.done.posedge\n"
+        "        # not-ready falls straight back to the loop head"
+    ),
+)
+def _check_zero_delay_livelock(ctx: LintContext) -> Iterator[CheckResult]:
+    """A ``while True`` thread loop with a back edge reachable without
+    passing any wait can spin forever *within one delta cycle*: simulated
+    time never advances and the run only ends on the watchdog.  Back edges
+    re-entered through an enclosing loop do not count, and unresolved
+    bodies stay silent."""
+    for pcf in ctx.cfg_analysis():
+        if pcf.kind != "thread" or pcf.unresolved:
+            continue
+        for lineno, source in waitless_loops(pcf.flow):
+            yield (
+                pcf.name,
+                f"infinite loop (line {lineno}, test `{source}`) has a back "
+                "edge reachable without any wait; on that path the thread "
+                "spins without ever advancing simulated time",
+                "make every iteration wait (timed or event) on all paths "
+                "through the loop body",
+            )
+
+
+@rule(
+    "REP502",
+    layer="cfg",
+    severity="warning",
+    summary="unreachable statements in a process body",
+    example=(
+        "def run(self):\n"
+        "    while True:\n"
+        "        yield ns(10)\n"
+        "    self.done.write(True)  # never reached"
+    ),
+)
+def _check_unreachable_code(ctx: LintContext) -> Iterator[CheckResult]:
+    """Statements no control path from the process entry reaches — usually
+    code after an exit-free infinite loop or after every branch returned —
+    never execute.  Exception edges count as paths, so code reachable only
+    through a handler is not flagged."""
+    for pcf in ctx.cfg_analysis():
+        if pcf.unresolved:
+            continue
+        for lineno, source in unreachable_statements(pcf.flow):
+            yield (
+                pcf.name,
+                f"statement at line {lineno} (`{source}`) is unreachable "
+                "from the process entry and never executes",
+                "delete the dead code, or restructure the loop it sits "
+                "behind so it can exit",
+            )
+
+
+@rule(
+    "REP503",
+    layer="cfg",
+    severity="warning",
+    summary="conditional signal write in an edge-clocked method (latch-style)",
+    example=(
+        "def stage(self):  # sensitive to clk.posedge only\n"
+        "    if self.enable.read():\n"
+        "        self.q.write(self.d.read())\n"
+        "    # no else: q silently holds its old value"
+    ),
+)
+def _check_latch_style(ctx: LintContext) -> Iterator[CheckResult]:
+    """An edge-clocked method that writes a signal on some control paths
+    but not all of them silently holds the old value on the skipped paths —
+    inferred-latch behaviour that RTL reviews flag because the hold is an
+    accident of control flow, not a declared register.  Bodies with opaque
+    calls or unresolved control flow stay silent."""
+    analysis = ctx.dataflow_analysis()
+    edge_of = _edge_signal_map(ctx)
+    flows = {pcf.name: pcf for pcf in ctx.cfg_analysis()}
+    for summary in analysis.summaries:
+        if summary.kind != "method" or summary.opaque_calls:
+            continue
+        sens = list(getattr(summary.process, "static_sensitivity", ()))
+        if not sens or not all(id(event) in edge_of for event in sens):
+            continue
+        pcf = flows.get(summary.name)
+        if pcf is None or pcf.unresolved:
+            continue
+        may, must = write_coverage(pcf.flow)
+        if may == must:
+            continue
+        must_sigs = {id(sig) for path in must for sig in [pcf.resolve_signal(path)] if sig}
+        reported: set = set()
+        for path in sorted(may - must):
+            sig = pcf.resolve_signal(path)
+            if sig is None or id(sig) in must_sigs or id(sig) in reported:
+                continue
+            reported.add(id(sig))
+            yield (
+                summary.name,
+                f"edge-clocked method writes signal "
+                f"{analysis.signal_label(sig)} on only some control paths; "
+                "on the others it silently holds its old value (inferred "
+                "latch)",
+                "write the signal on every path (e.g. a default assignment "
+                "before the branch)",
+            )
+
+
+@rule(
+    "REP504",
+    layer="cfg",
+    severity="warning",
+    summary="wait on only one branch arm (variable-latency protocol hazard)",
+    example=(
+        "def handshake(self):\n"
+        "    while True:\n"
+        "        if not self.ack.read():\n"
+        "            yield self.ack.posedge  # waits only when slow\n"
+        "        self.data.write(self.next_beat())\n"
+        "        yield ns(10)"
+    ),
+)
+def _check_one_sided_wait(ctx: LintContext) -> Iterator[CheckResult]:
+    """A branch whose arms rejoin but where one arm must wait and the other
+    can fall through without waiting gives the thread data-dependent
+    latency: downstream timing silently shifts by a delta (or more)
+    depending on which arm ran.  In handshake protocols this is the
+    classic source of one-cycle-off bugs.  Arms that leave the region
+    (early return, break) are guards, not latency branches, and are not
+    compared."""
+    for pcf in ctx.cfg_analysis():
+        if pcf.kind != "thread" or pcf.unresolved:
+            continue
+        for lineno, source in one_sided_wait_branches(pcf.flow):
+            yield (
+                pcf.name,
+                f"branch at line {lineno} (`if {source}`) waits on one arm "
+                "but can rejoin waitlessly through the other; completion "
+                "timing depends on data",
+                "wait on both arms (or neither), or split the fast path "
+                "into its own state",
+            )
+
+
+@rule(
+    "REP505",
+    layer="cfg",
+    severity="warning",
+    summary="clock-domain crossing without a synchronizer stage",
+    example=(
+        "# producer method clocked by clk_a writes self.flag;\n"
+        "# consumer method clocked by clk_b reads self.flag directly\n"
+        "# (no intermediate method that only moves flag between domains)"
+    ),
+)
+def _check_clock_domain_crossing(ctx: LintContext) -> Iterator[CheckResult]:
+    """A signal written only by methods of one clock domain and read by a
+    method of a disjoint domain crosses clock domains; in the modeled
+    hardware that read samples an asynchronous input (metastability,
+    missed pulses).  A reader that acts as a synchronizer flop — it reads
+    nothing but the crossing signal and writes exactly one signal — is
+    exempt, as are signals whose writers span domains (already covered by
+    the race rules)."""
+    analysis = ctx.dataflow_analysis()
+    clock_ids, domains = _clock_domains(ctx)
+    if not clock_ids:
+        return
+    for use in analysis.signal_uses():
+        if id(use.signal) in clock_ids or not use.writers:
+            continue
+        if any(w.kind != "method" for w in use.writers):
+            continue
+        writer_domains: set = set()
+        for writer in use.writers:
+            writer_domains |= domains.get(id(writer.process), frozenset())
+        if len(writer_domains) != 1:
+            continue
+        for reader in use.readers:
+            if reader.kind != "method":
+                continue
+            reader_domain = domains.get(id(reader.process), frozenset())
+            if not reader_domain or writer_domains & reader_domain:
+                continue
+            if (
+                len({id(s) for s in reader.signal_reads}) == 1
+                and len({id(s) for s in reader.signal_writes}) == 1
+            ):
+                continue  # synchronizer flop: single-input, single-output
+            yield (
+                use.label,
+                f"signal crosses clock domains: written under one clock, "
+                f"read by {reader.name!r} under a disjoint clock without a "
+                "synchronizer stage",
+                "pass the signal through a synchronizer method in the "
+                "reader's domain (reads only this signal, writes one "
+                "registered copy)",
+            )
+
+
+@rule(
+    "REP506",
+    layer="cfg",
+    severity="warning",
+    summary="two threads write the same signal before their first wait",
+    example=(
+        "def init_a(self):\n"
+        "    self.mode.write(1)   # runs at t=0\n"
+        "    yield ns(10)\n"
+        "def init_b(self):\n"
+        "    self.mode.write(2)   # also runs at t=0: order decides\n"
+        "    yield ns(10)"
+    ),
+)
+def _check_entry_write_race(ctx: LintContext) -> Iterator[CheckResult]:
+    """Sharpens REP401 with position: two start-running threads whose
+    *entry segments* (code before the first wait) write the same signal
+    definitely collide in the very first instant — not merely "may race",
+    the conflicting writes are unconditionally reachable before any wait
+    could separate them.  The committed value is whichever thread the
+    scheduler happened to run last."""
+    analysis = ctx.dataflow_analysis()
+    writers: List[Tuple[ProcessControlFlow, Dict[int, object]]] = []
+    for pcf in ctx.cfg_analysis():
+        if pcf.kind != "thread" or pcf.unresolved:
+            continue
+        if not getattr(pcf.process, "runs_at_start", True):
+            continue
+        sigs: Dict[int, object] = {}
+        for path in sorted(pcf.flow.entry_writes):
+            sig = pcf.resolve_signal(path)
+            if sig is not None:
+                sigs[id(sig)] = sig
+        if sigs:
+            writers.append((pcf, sigs))
+    for i, (a, a_sigs) in enumerate(writers):
+        for b, b_sigs in writers[i + 1:]:
+            shared = set(a_sigs) & set(b_sigs)
+            for sig_id in sorted(shared, key=lambda s: analysis.signal_label(a_sigs[s])):
+                sig = a_sigs[sig_id]
+                pair = tuple(sorted((a.name, b.name)))
+                yield (
+                    analysis.signal_label(sig),
+                    f"threads {pair[0]!r} and {pair[1]!r} both write this "
+                    "signal before their first wait; the writes land in the "
+                    "same first instant and the committed value depends on "
+                    "evaluation order",
+                    "stagger the writers with a wait, or give the signal a "
+                    "single driver",
+                )

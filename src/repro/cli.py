@@ -171,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
             "bounded simulation (implies --dataflow)"
         ),
     )
+    lint.add_argument(
+        "--cfg",
+        action="store_true",
+        help=(
+            "also run the control-flow rules (REP5xx): per-process CFGs "
+            "and wait-state machines (implies --dataflow)"
+        ),
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="REPnnn",
+        default=None,
+        help="print the registry entry for a rule code and exit",
+    )
 
     inject = sub.add_parser(
         "inject",
@@ -555,10 +569,38 @@ def _builtin_netlists(which: str) -> List[tuple]:
     raise ValueError(f"unknown builtin {which!r}")
 
 
+def _explain_rule(code: str) -> int:
+    import inspect
+
+    from .analysis.lint import RULES, display_layer
+
+    entry = RULES.get(code.strip().upper())
+    if entry is None:
+        print(f"error: unknown rule code {code!r}", file=sys.stderr)
+        print(f"known codes: {', '.join(sorted(RULES))}", file=sys.stderr)
+        return 2
+    print(f"{entry.code} — {entry.summary}")
+    print(f"layer: {display_layer(entry.layer)}")
+    print(f"severity: {entry.severity}")
+    doc = inspect.getdoc(entry.check) if entry.check else None
+    if doc:
+        print()
+        print(doc)
+    if entry.example:
+        print()
+        print("example:")
+        for line in entry.example.strip("\n").splitlines():
+            print(f"    {line}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     import json
 
     from .analysis.lint import run_lint
+
+    if args.explain:
+        return _explain_rule(args.explain)
 
     targets: List[tuple] = []
     load_failures = 0
@@ -588,7 +630,7 @@ def cmd_lint(args) -> int:
             print("error: nothing to lint", file=sys.stderr)
         return 2
 
-    dataflow = args.dataflow or args.confirm
+    dataflow = args.dataflow or args.confirm or args.cfg
     reports = [
         (
             label,
@@ -597,6 +639,7 @@ def cmd_lint(args) -> int:
                 netlist,
                 elaborate=not args.no_elaborate,
                 dataflow=dataflow,
+                cfg=args.cfg,
                 select=args.select,
                 ignore=args.ignore,
             ),

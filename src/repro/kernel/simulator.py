@@ -80,6 +80,7 @@ class SimulatorStats:
         "timed_activations",
         "signal_updates",
         "specialized_commits",
+        "register_commits",
     )
 
     def __init__(self) -> None:
@@ -93,6 +94,12 @@ class SimulatorStats:
         #: generic path, so ``signal_updates + specialized_commits`` is
         #: comparable across the two schedulers.
         self.specialized_commits = 0
+        #: Commits of register-class signals on the specialized fast path:
+        #: the staged update-queue round trip is kept (so readers in the
+        #: same instant still see the old value) but the proven-pointless
+        #: notification scan is skipped.  A subset of ``signal_updates``,
+        #: reported separately; always 0 on the generic path.
+        self.register_commits = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dictionary (for reports)."""
@@ -102,6 +109,7 @@ class SimulatorStats:
             "timed_activations": self.timed_activations,
             "signal_updates": self.signal_updates,
             "specialized_commits": self.specialized_commits,
+            "register_commits": self.register_commits,
         }
 
 

@@ -13,14 +13,27 @@ fast variant whose ``write``:
   buckets, which the evaluation phase drains in topological order —
   one glitch-free pass per combinational wave.
 
+Since PR 7 the plan also admits clocked, port-bound designs: the
+control-flow layer (:mod:`repro.analysis.cfg`) proves clock-toggle
+threads periodic single-instant writers, methods sensitive only to such
+signals become rank-0 *sequential* methods, and nets touched exclusively
+by sequential methods become *registers* (:class:`_RegisterSignal`) —
+they keep the staged update-queue round trip so same-instant readers see
+the old value, but skip the notification scan, counting the commit in
+``stats.register_commits``.
+
 This is the pymtl3/GT-HDL lesson applied to this kernel: pay for analysis
 once at elaboration instead of running dynamic checks on every call.
 
-The contract is **wholesale per design, never per signal**: a single
-construct the analysis cannot resolve (an aliased write, a free-function
-process, a dynamic ``spawn``, an armed ``write_hook``/``fault_hook``,
-``--confirm`` instrumentation) rejects the whole design, which then runs
-on the generic scheduler unchanged.  Runtime events the plan could not
+The contract is **wholesale per design, never per signal** for
+constructs that poison the analysis itself: an aliased write, a
+free-function process, a dynamic ``spawn``, an armed
+``write_hook``/``fault_hook``, ``--confirm`` instrumentation all reject
+the whole design, which then runs on the generic scheduler unchanged.
+Failed *admission proofs* are gentler: a multi-writer net, an unproven
+or CFG-unresolved writer, a degenerate clock or a pulse writer only
+leaves that signal on the generic protocol, with the reason recorded in
+``plan.exclusions``.  Runtime events the plan could not
 foresee — a process spawned mid-run, a hook armed after initialize, a
 trace callback attached — revert the live simulation the same way via
 :func:`revert`, flushing any pending static marks into the ordinary
@@ -30,8 +43,9 @@ Observable equivalence: the two paths produce byte-identical traces
 (per-instant trace hooks, VCD, golden stats) and equal
 ``timed_activations``; ``delta_cycles``/``signal_updates``/
 ``process_executions`` may shrink on the fast path, and every skipped
-commit round trip is reported in ``stats.specialized_commits`` rather
-than silently folded in.  ``Simulator(specialize=False)`` forces the
+commit round trip is reported in ``stats.specialized_commits`` (or
+``stats.register_commits`` for the scan-skipping register commits)
+rather than silently folded in.  ``Simulator(specialize=False)`` forces the
 generic path unconditionally.
 """
 
@@ -117,6 +131,40 @@ class _ChainedSignal(Signal):
             sim._pending_count += marked
 
 
+class _RegisterSignal(Signal):
+    """Fast variant for a register-style signal between clocked methods.
+
+    Unlike the silent/chained variants the write stays *staged*: readers
+    in the same instant must keep seeing the old value (that is what makes
+    it a register), so the update-queue round trip is preserved verbatim.
+    What the plan proved unnecessary is the notification side — no process
+    is sensitive to the signal, nothing waits on or notifies its events,
+    nothing traces it — so ``_update`` commits the value and skips the
+    event scan entirely.  Skipped scans are counted in
+    ``stats.register_commits``.
+    """
+
+    __slots__ = ()
+
+    def write(self, value):
+        if self.write_hook is not None:
+            self.sim._despecialize(f"write hook armed on {self.name} after initialize")
+            Signal.write(self, value)
+            return
+        self._next = value
+        if not self._update_requested:
+            self.sim._enqueue_update(self)
+
+    def _update(self):
+        # Same identity-before-equality absorb as Signal._update.
+        old = self._current
+        new = self._next
+        if new is old or new == old:
+            return
+        self._current = new
+        self.sim.stats.register_commits += 1
+
+
 def _live_fallback_reasons(sim: "Simulator") -> List[str]:
     """Cheap pre-analysis checks on the live design (hooks, hierarchy).
 
@@ -182,6 +230,9 @@ def apply_plan(sim: "Simulator", plan) -> None:
     for sig, deps in plan.chained_signals:
         sig._dependents = deps
         sig.__class__ = _ChainedSignal
+        fast.append(sig)
+    for sig in plan.register_signals:
+        sig.__class__ = _RegisterSignal
         fast.append(sig)
     sim._specialized = True
 

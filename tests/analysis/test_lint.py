@@ -396,8 +396,9 @@ class TestEngine:
     def test_to_dicts_round_trip(self, broken):
         payload = run_lint(broken).to_dicts()
         assert payload and set(payload[0]) == {
-            "code", "severity", "message", "location", "hint"
+            "code", "severity", "message", "location", "hint", "layer"
         }
+        assert payload[0]["layer"] == "core"
 
     def test_severity_partitions(self, broken):
         report = run_lint(broken)

@@ -14,9 +14,10 @@ EXPECTED_STATS = {
     "delta_cycles": 7,
     "timed_activations": 21,
     "signal_updates": 4,
-    # Added after the seed: counts fast-path commits, 0 on the generic
+    # Added after the seed: count fast-path commits, 0 on the generic
     # scheduler this spawn-only scenario always runs on.
     "specialized_commits": 0,
+    "register_commits": 0,
 }
 
 EXPECTED_END_FS = 13_000_000

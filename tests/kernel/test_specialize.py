@@ -12,7 +12,7 @@ only works for code that lives in a real file.
 
 import pytest
 
-from repro.kernel import Module, Signal, Simulator, ns
+from repro.kernel import Clock, Module, Port, Signal, Simulator, fs, ns
 
 
 class Stage(Module):
@@ -145,6 +145,131 @@ class DynamicTop(Module):
         yield ns(1)
 
 
+class ClockedPipelineTop(Module):
+    """A Clock driving two sequential stages through a register net."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.clk = Clock("clk", ns(10), parent=self)
+        self.d = Signal(self.sim, 0, name=f"{name}.d")
+        self.q = Signal(self.sim, 0, name=f"{name}.q")
+        self.q2 = Signal(self.sim, 0, name=f"{name}.q2")
+        self.add_method(self.stage1, sensitivity=(self.clk.posedge,), initialize=False)
+        self.add_method(self.stage2, sensitivity=(self.clk.posedge,), initialize=False)
+
+    def stage1(self):
+        self.q.write(self.d.read() + 1)
+
+    def stage2(self):
+        self.q2.write(self.q.read() * 2)
+
+
+class UnresolvedWriterTop(Module):
+    """The thread's yield sits in a nested expression: the dataflow layer
+    resolves the wait, the CFG builder conservatively does not — so the
+    observed signal it writes must be excluded, not mis-specialized."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.t = Signal(self.sim, 0, name="t")
+        self.o = Signal(self.sim, 0, name="o")
+        self.add_method(self.tap, sensitivity=(self.t.value_changed,), initialize=False)
+        self.add_thread(self.drive)
+
+    def tap(self):
+        self.o.write(self.t.read() + 1)
+
+    def drive(self):
+        for i in range(3):
+            _ = [(yield ns(1))]
+            self.t.write(i + 1)
+
+
+class DoubleWriteTop(Module):
+    """The thread pulses the observed signal twice in one instant: the
+    generic path absorbs the pulse in one staged update, so in-place
+    commits would fire spurious waves."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.t = Signal(self.sim, 0, name="t")
+        self.o = Signal(self.sim, 0, name="o")
+        self.add_method(self.tap, sensitivity=(self.t.value_changed,), initialize=False)
+        self.add_thread(self.drive)
+
+    def tap(self):
+        self.o.write(self.t.read() + 1)
+
+    def drive(self):
+        for i in range(3):
+            self.t.write(0)
+            self.t.write(i + 1)
+            yield ns(1)
+
+
+class PulseMethodTop(Module):
+    """A method writes the observed signal twice per activation."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.s = Signal(self.sim, 0, name="s")
+        self.b = Signal(self.sim, False, name="b")
+        self.seen = Signal(self.sim, 0, name="seen")
+        self.add_method(self.pulse, sensitivity=(self.s.value_changed,), initialize=False)
+        self.add_method(self.tap, sensitivity=(self.b.posedge,), initialize=False)
+        self.add_thread(self.drive)
+
+    def pulse(self):
+        self.b.write(True)
+        self.b.write(False)
+
+    def tap(self):
+        self.seen.write(self.s.read())
+
+    def drive(self):
+        for i in range(3):
+            self.s.write(i + 1)
+            yield ns(1)
+
+
+class DegenerateClockTop(Module):
+    """fs(1) at duty 0.4 rounds the high phase to zero femtoseconds."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.clk = Clock("clk", fs(1), parent=self, duty=0.4)
+        self.q = Signal(self.sim, 0, name="q")
+        self.add_method(self.stage, sensitivity=(self.clk.posedge,), initialize=False)
+
+    def stage(self):
+        self.q.write(self.q.read())
+
+
+class PortWriter(Module):
+    def __init__(self, name, parent):
+        super().__init__(name, parent=parent)
+        self.out = Port(self, None, name="out")
+        self.add_thread(self.drive)
+
+    def drive(self):
+        for i in range(3):
+            self.out.write(i)
+            yield ns(1)
+
+
+class SharedPortNetTop(Module):
+    """Two writers drive one signal through their ports: a multi-writer
+    net the plan must see through ``binding_chain()`` and exclude."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.net = Signal(self.sim, 0, name="net")
+        self.w1 = PortWriter("w1", self)
+        self.w2 = PortWriter("w2", self)
+        self.w1.out.bind(self.net)
+        self.w2.out.bind(self.net)
+
+
 def _run_chain(specialize, depth=4, rounds=3):
     sim = Simulator(specialize=specialize)
     top = ChainTop("chain", sim, depth=depth, rounds=rounds)
@@ -185,6 +310,111 @@ class TestPlanConstruction:
         assert sim.stats.specialized_commits == top.rounds * (top.depth + 1)
         generic_sim, _ = _run_chain(specialize=False)
         assert generic_sim.stats.specialized_commits == 0
+
+
+class TestClockedAdmission:
+    """The PR-7 extension: clock-toggle threads proven periodic single
+    writers, sequential methods, and register-style nets."""
+
+    def test_clocked_pipeline_plan(self):
+        sim = Simulator()
+        top = ClockedPipelineTop("p", sim)
+        sim.initialize()
+        assert sim._specialized
+        plan = sim.schedule_plan
+        assert [s.name for s, _ in plan.chained_signals] == ["p.clk.sig"]
+        assert [s.name for s in plan.register_signals] == ["p.q"]
+        assert [s.name for s in plan.silent_signals] == ["p.q2"]
+        assert plan.exclusions == []
+        # Sequential methods are marked directly by the clock commit.
+        assert {rank for _, rank in plan.method_ranks} == {0}
+
+    def test_clocked_pipeline_runs_fast_and_matches(self):
+        finals = {}
+        stats = {}
+        for specialize in (True, False):
+            sim = Simulator(specialize=specialize)
+            top = ClockedPipelineTop("p", sim)
+            sim.run(until=ns(100))
+            assert sim._specialized is specialize
+            finals[specialize] = (top.q.read(), top.q2.read(), top.clk.read())
+            stats[specialize] = sim.stats.as_dict()
+        assert finals[True] == finals[False]
+        assert stats[True]["timed_activations"] == stats[False]["timed_activations"]
+        assert stats[True]["delta_cycles"] <= stats[False]["delta_cycles"]
+        assert stats[True]["register_commits"] > 0
+        assert stats[False]["register_commits"] == 0
+
+    def test_register_keeps_staged_semantics(self):
+        # stage2 must see stage1's *previous* output in the same instant:
+        # after the first posedge q2 is twice the initial q, not twice the
+        # just-staged one.
+        sim = Simulator()
+        top = ClockedPipelineTop("p", sim)
+        top.d.write(41)
+        sim.run(until=ns(14))  # exactly one posedge (clock starts high)
+        assert sim._specialized
+        assert top.q.read() == 42
+        assert top.q2.read() == 0  # old q (0) * 2, not 84
+
+
+class TestExclusionRegressions:
+    """Every new per-signal fallback trigger is recorded in
+    ``plan.exclusions`` and the net stays on the generic protocol."""
+
+    def _plan(self, top_cls):
+        sim = Simulator()
+        top_cls("t", sim)
+        sim.initialize()
+        plan = sim.schedule_plan
+        assert plan is not None
+        return sim, plan
+
+    def test_unresolved_cfg_thread_writer(self):
+        sim, plan = self._plan(UnresolvedWriterTop)
+        assert any("control flow unresolved" in e for e in plan.exclusions)
+        assert all(s.name != "t" for s, _ in plan.chained_signals)
+
+    def test_thread_double_write_excluded(self):
+        sim, plan = self._plan(DoubleWriteTop)
+        assert any("more than once in one instant" in e for e in plan.exclusions)
+        assert all(s.name != "t" for s, _ in plan.chained_signals)
+
+    def test_method_pulse_writer_excluded(self):
+        sim, plan = self._plan(PulseMethodTop)
+        assert any(
+            "more than once per activation" in e for e in plan.exclusions
+        )
+        assert all(s.name != "t.b" for s, _ in plan.chained_signals)
+
+    def test_degenerate_clock_excluded(self):
+        sim, plan = self._plan(DegenerateClockTop)
+        assert any("degenerate clock phase" in e for e in plan.exclusions)
+        assert not sim._specialized
+
+    def test_multi_writer_port_net_excluded(self):
+        sim, plan = self._plan(SharedPortNetTop)
+        assert any(
+            "multiple writers" in e and "net" in e for e in plan.exclusions
+        )
+        assert not sim._specialized
+
+    @pytest.mark.parametrize(
+        "top_cls",
+        [UnresolvedWriterTop, DoubleWriteTop, PulseMethodTop, SharedPortNetTop],
+    )
+    def test_excluded_designs_still_run_correctly(self, top_cls):
+        finals = {}
+        for specialize in (True, False):
+            sim = Simulator(specialize=specialize)
+            top = top_cls("t", sim)
+            sim.run(until=ns(50))
+            finals[specialize] = {
+                name: sig.read()
+                for name, sig in vars(top).items()
+                if isinstance(sig, Signal)
+            }
+        assert finals[True] == finals[False]
 
 
 class TestEquivalence:

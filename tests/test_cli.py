@@ -311,3 +311,70 @@ class TestLintDataflow:
         assert main(["lint", "--dataflow"]) == 0
         out = capsys.readouterr().out
         assert "0 error(s)" in out
+
+
+class TestLintCfg:
+    """The ``--cfg`` layer flag and the ``--explain`` registry lookup."""
+
+    SPINNY = (
+        "from repro.core import Netlist\n"
+        "from repro.kernel import Module, Signal\n"
+        "\n"
+        "class Spinny(Module):\n"
+        "    def __init__(self, name, parent=None, sim=None):\n"
+        "        super().__init__(name, parent=parent, sim=sim)\n"
+        "        self.req = Signal(self.sim, False, name='req')\n"
+        "        self.add_thread(self.spin, name='spin')\n"
+        "\n"
+        "    def spin(self):\n"
+        "        while True:\n"
+        "            if self.req.read():\n"
+        "                yield self.req.negedge\n"
+        "\n"
+        "def build_netlist():\n"
+        "    netlist = Netlist('net')\n"
+        "    netlist.add('dut', Spinny)\n"
+        "    return netlist\n"
+    )
+
+    @pytest.fixture
+    def spinny_file(self, tmp_path):
+        path = tmp_path / "spinny_arch.py"
+        path.write_text(self.SPINNY)
+        return str(path)
+
+    def test_cfg_flag_reports_rep5xx(self, spinny_file, capsys):
+        assert main(["lint", spinny_file]) == 0
+        capsys.readouterr()
+        main(["lint", spinny_file, "--cfg"])
+        out = capsys.readouterr().out
+        assert "REP501" in out
+
+    def test_cfg_json_carries_layer_field(self, spinny_file, capsys):
+        import json
+
+        main(["lint", spinny_file, "--cfg", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        layers = {d["code"]: d["layer"] for d in payload[0]["diagnostics"]}
+        assert layers.get("REP501") == "cfg"
+        keys = [(d["code"], d["location"]) for d in payload[0]["diagnostics"]]
+        assert keys == sorted(keys)
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "REP501"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("REP501 — ")
+        assert "layer: cfg" in out
+        assert "severity: warning" in out
+        assert "example:" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["lint", "--explain", "rep204"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("REP204 — ")
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--explain", "REP999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule code" in err
+        assert "REP501" in err  # the known-codes hint

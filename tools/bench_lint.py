@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Lint performance smoke: bound the dataflow analyzer's wall-clock.
+"""Lint performance smoke: bound the deep analysis layers' wall-clock.
 
 The REP4xx dataflow layer parses every registered process body with the
-``ast`` module and assembles a design-level graph, so its cost grows with
-the model.  This harness times ``run_lint(dataflow=True)`` on the largest
-built-in architecture (the multi-fabric modem, every accelerator split
-across two fabrics) and — with ``--check`` — fails when a full analysis
-pass exceeds a generous wall-clock bound.  The point is not a precise
+``ast`` module and assembles a design-level graph, and the REP5xx cfg
+layer builds a CFG and wait-state machine per body on top of it, so their
+cost grows with the model.  This harness times ``run_lint(dataflow=True)``
+and ``run_lint(dataflow=True, cfg=True)`` on the largest built-in
+architecture (the multi-fabric modem, every accelerator split across two
+fabrics) and — with ``--check`` — fails when a full analysis pass of
+either exceeds a generous wall-clock bound.  The point is not a precise
 perf trajectory (``bench_kernel.py`` owns that) but a CI tripwire: an
 accidentally quadratic rule or a lost cache shows up as seconds, not
 milliseconds.
@@ -52,13 +54,13 @@ def largest_netlist():
     return netlist
 
 
-def timed_passes(n_passes: int = PASSES):
-    """Wall-clock of ``n_passes`` full dataflow lint runs, in seconds."""
+def timed_passes(n_passes: int = PASSES, cfg: bool = False):
+    """Wall-clock of ``n_passes`` full lint runs of one layer, in seconds."""
     times = []
     for _ in range(n_passes):
         netlist = largest_netlist()
         start = time.perf_counter()
-        report = run_lint(netlist, dataflow=True)
+        report = run_lint(netlist, dataflow=True, cfg=cfg)
         times.append(time.perf_counter() - start)
         if report.has_errors:
             raise SystemExit(
@@ -77,19 +79,20 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    times = timed_passes()
-    for i, t in enumerate(times, 1):
-        print(f"pass {i}: {t * 1e3:8.1f} ms")
-    worst = max(times)
-    print(f"worst:  {worst * 1e3:8.1f} ms  (budget {CHECK_BUDGET_S:.1f}s)")
+    for label, cfg in (("dataflow", False), ("dataflow+cfg", True)):
+        times = timed_passes(cfg=cfg)
+        for i, t in enumerate(times, 1):
+            print(f"{label} pass {i}: {t * 1e3:8.1f} ms")
+        worst = max(times)
+        print(f"{label} worst:  {worst * 1e3:8.1f} ms  (budget {CHECK_BUDGET_S:.1f}s)")
+        if args.check and worst > CHECK_BUDGET_S:
+            print(
+                f"bench_lint: FAIL — slowest {label} lint pass took "
+                f"{worst:.2f}s (> {CHECK_BUDGET_S:.1f}s budget)",
+                file=sys.stderr,
+            )
+            return 1
 
-    if args.check and worst > CHECK_BUDGET_S:
-        print(
-            f"bench_lint: FAIL — slowest dataflow lint pass took "
-            f"{worst:.2f}s (> {CHECK_BUDGET_S:.1f}s budget)",
-            file=sys.stderr,
-        )
-        return 1
     if args.check:
         print("bench_lint: OK")
     return 0

@@ -6,13 +6,14 @@
 # Steps:
 #   1. tier-1 test suite
 #   2. kernel throughput smoke (>30% regression vs BENCH_kernel.json fails;
-#      also asserts the specialized static-schedule path stays >=2x the
-#      generic scheduler on method_chain) plus the generic-vs-specialized
-#      equivalence matrix
+#      also asserts each specialized static-schedule workload stays above
+#      its floor — >=2x on method_chain, >=1.05x on clocked_pipeline) plus
+#      the generic-vs-specialized equivalence matrix
 #   3. ruff check (skipped with a notice when ruff is not installed)
 #   4. static model lint over every example architecture, including the
-#      opt-in REP4xx dataflow layer (must be clean), plus a wall-clock
-#      bound on the dataflow analyzer (tools/bench_lint.py --check)
+#      opt-in REP4xx dataflow and REP5xx control-flow layers (must be
+#      clean), plus a wall-clock bound on both analyzers
+#      (tools/bench_lint.py --check)
 #   5. fault-campaign smoke: seeded campaign must reproduce byte-for-byte
 #   6. DSE sweep smoke: parallel + cached sweeps must be byte-identical to
 #      serial re-runs (workers 1 and 2), and the warmed cache must hit
@@ -35,8 +36,8 @@ else
     echo "ruff not installed; skipping (config lives in pyproject.toml)"
 fi
 
-echo "== 4/6 static model lint over examples/ (with dataflow layer) =="
-python -m repro lint --dataflow examples/*.py
+echo "== 4/6 static model lint over examples/ (with dataflow + cfg layers) =="
+python -m repro lint --dataflow --cfg examples/*.py
 python tools/bench_lint.py --check
 
 echo "== 5/6 fault-campaign reproducibility smoke =="
