@@ -52,7 +52,7 @@ import types
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..kernel import Clock, Signal
+from ..kernel import Clock, Event, Signal
 from .dataflow import _TIME_FUNCS, _as_signal, _resolve_path
 
 #: A ``self``-rooted attribute path, as in :mod:`repro.analysis.dataflow`.
@@ -80,8 +80,15 @@ class WaitInfo:
     branch node) supplies the advance on the timeout path.
     """
 
-    kind: str  # 'timed' | 'event' | 'static' | 'anyof_timeout' | 'unknown'
+    kind: str  # 'timed' | 'event' | 'static' | 'anyof_timeout' | 'external' | 'unknown'
     advances: bool
+    #: For ``event`` waits on a plain ``self.<...>`` path and for
+    #: ``external`` waits (``yield from self.<chain>.<method>(...)``): the
+    #: ``self``-rooted path of the waited object / call target, resolvable
+    #: on the live owner.  None for composite or unresolvable targets.
+    target: Optional[Path] = None
+    #: For ``external`` waits: the method name invoked on ``target``.
+    method: str = ""
 
 
 @dataclass
@@ -147,6 +154,11 @@ class WaitState:
     lineno: int
     label: str
     advances: bool
+    #: The full classification of the underlying wait site (None for the
+    #: synthetic START/END states).  Carries the resolvable target path
+    #: for event/external waits, which the rendezvous admission proof
+    #: (:func:`thread_rendezvous_profile`) resolves on the live owner.
+    info: Optional[WaitInfo] = None
 
 
 @dataclass
@@ -198,6 +210,11 @@ class FunctionControlFlow:
     read_paths: FrozenSet[Path] = frozenset()
     unresolved: bool = False
     reason: str = ""
+    #: True when the body contains external (blocking-call) wait states.
+    #: Their callees run in foreign frames, so ``write_counts`` /
+    #: ``entry_writes`` cover only this body's own effects — single-writer
+    #: proofs must not trust them.
+    external_waits: bool = False
 
 
 # --------------------------------------------------------------------------
@@ -323,8 +340,9 @@ def _classify_wait(value: Optional[ast.AST]) -> WaitInfo:
     """Classify the expression yielded at a wait site."""
     if value is None or (isinstance(value, ast.Constant) and value.value is None):
         return WaitInfo("static", False)
-    if _self_path(value):
-        return WaitInfo("event", False)
+    path = _self_path(value)
+    if path:
+        return WaitInfo("event", False, target=path)
     if isinstance(value, ast.Call):
         func = value.func
         name = None
@@ -390,6 +408,10 @@ class _CfgBuilder:
         self.stack = stack  # code objects being spliced (recursion guard)
         self.nodes: List[CfgNode] = []
         self.unresolved_reason: Optional[str] = None
+        #: External (blocking-call) wait sites emitted; the resulting flow
+        #: is flagged so write-count consumers treat callee effects as
+        #: opaque.
+        self.external_count = 0
         self._loops: List[Tuple[int, List[int], int]] = []  # (head, breaks, fin_depth)
         self._returns: List[Tuple[List[int], int]] = []  # (collector, fin_depth)
         self._finallies: List[List[ast.stmt]] = []
@@ -721,13 +743,12 @@ class _CfgBuilder:
     ) -> List[int]:
         if isinstance(value, ast.YieldFrom):
             call = value.value
-            if (
-                isinstance(call, ast.Call)
-                and isinstance(call.func, ast.Attribute)
-                and isinstance(call.func.value, ast.Name)
-                and call.func.value.id == "self"
-            ):
-                return self._splice(stmt, call, frontier)
+            if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
+                root = _self_path(call.func.value)
+                if root == ():
+                    return self._splice(stmt, call, frontier)
+                if root:
+                    return self._emit_external(stmt, call, root, frontier)
             raise _Unresolvable(
                 f"yield from a foreign generator (line {stmt.lineno})"
             )
@@ -742,6 +763,36 @@ class _CfgBuilder:
             lineno=stmt.lineno,
             source=self._src(stmt),
             reads=reads,
+            writes=writes,
+            wait=info,
+        )
+        self._connect(frontier, node)
+        return [node]
+
+    def _emit_external(
+        self, stmt: ast.stmt, call: ast.Call, root: Path, frontier: List[int]
+    ) -> List[int]:
+        """``yield from self.<chain>.<method>(...)`` — a blocking call into
+        another component (bus transport, channel, arbiter).
+
+        The callee is not spliced — its frame belongs to the target object,
+        not this module — so the whole call becomes one *external* wait
+        state carrying the target path and method name.  Its internal
+        effects are invisible here, which is why :func:`analyze_function`
+        flags the flow (``external_waits``) and write-count consumers must
+        not trust the counts for such flows.
+        """
+        scanner = _scan(*call.args, *[kw.value for kw in call.keywords])
+        if scanner.yields:
+            raise _Unresolvable(f"yield inside call arguments (line {stmt.lineno})")
+        reads, writes = self._effects(scanner)
+        self.external_count += 1
+        info = WaitInfo("external", False, target=root, method=call.func.attr)
+        node = self._new(
+            "wait",
+            lineno=stmt.lineno,
+            source=self._src(stmt),
+            reads=tuple(reads) + (root,),
             writes=writes,
             wait=info,
         )
@@ -853,7 +904,8 @@ def extract_machine(cfg: Cfg) -> Tuple[WaitStateMachine, Dict[Path, int], Frozen
     for node_idx in wait_nodes:
         node = cfg.nodes[node_idx]
         state = WaitState(
-            len(states), node.wait.kind, node.lineno, node.source, node.wait.advances
+            len(states), node.wait.kind, node.lineno, node.source, node.wait.advances,
+            node.wait,
         )
         state_of[node_idx] = state.index
         states.append(state)
@@ -1019,6 +1071,7 @@ def analyze_function(
         read_paths=read_paths,
         unresolved=builder.unresolved_reason is not None,
         reason=builder.unresolved_reason or "",
+        external_waits=builder.external_count > 0,
     )
     _FLOW_CACHE[key] = flow
     return flow
@@ -1107,11 +1160,157 @@ def proven_single_instant_writer(process: object, signal: Signal) -> Tuple[bool,
     pcf = analyze_process(process)
     if pcf.unresolved:
         return False, f"control flow unresolved: {pcf.reason}"
+    if pcf.flow.external_waits:
+        # Blocking calls into other components run in foreign frames whose
+        # writes the count analysis cannot see.
+        return False, "external wait (callee effects opaque to write counts)"
     counts = pcf.live_write_counts()
     entry = counts.get(id(signal))
     if entry is None or entry[1] <= 1:
         return True, "at most one write per instant (wait-state machine)"
     return False, "may write more than once in one instant"
+
+
+# --------------------------------------------------------------------------
+# Rendezvous admission (compiled-thread fast path, kernel/specialize.py)
+# --------------------------------------------------------------------------
+
+@dataclass
+class RendezvousProfile:
+    """Verdict of the compiled-thread admission proof for one thread.
+
+    ``admissible`` threads block only on waits the compiled runtime serves
+    with its lean protocol; ``rendezvous_states`` counts the event /
+    external (blocking-call) wait states among them — the hand-offs the
+    fast path exists for.
+    """
+
+    admissible: bool
+    reason: str
+    rendezvous_states: int = 0
+    timed_states: int = 0
+
+
+def _audited_rendezvous(target: object, method: str) -> Optional[str]:
+    """Is ``target.method`` an audited blocking rendezvous primitive?
+
+    Returns None when it is, else the rejection reason.  The registry
+    names the kernel channels and the bus-layer transport whose wait /
+    notify structure the compiled-thread runtime was validated against
+    (every blocking path inside them suspends only on plain timed waits,
+    single events with statically known notifiers, or nested audited
+    calls).  Anything else is rejected — soundness does not depend on
+    this list (the compiled runtime is order-preserving and falls back
+    per wait), but admission does, so the exclusion stays diagnosable.
+    """
+    from ..kernel.channels import Fifo, Mutex, Semaphore
+
+    if isinstance(target, Fifo) and method in ("put", "get"):
+        return None
+    if isinstance(target, Mutex) and method == "lock":
+        return None
+    if isinstance(target, Semaphore) and method == "wait":
+        return None
+    try:
+        from ..bus.arbiter import Arbiter
+        from ..bus.bus import Bus
+        from ..bus.memory import Memory
+    except ImportError:  # kernel used without the bus layer
+        pass
+    else:
+        if isinstance(target, Arbiter) and method == "request":
+            return None
+        if isinstance(target, Bus) and method in ("read", "write"):
+            return None
+        if isinstance(target, Memory) and method in ("read", "write"):
+            return None
+    if target is None:
+        return "call target does not resolve on the live owner"
+    return f"{type(target).__name__}.{method} is not an audited rendezvous primitive"
+
+
+def thread_rendezvous_profile(process: object) -> RendezvousProfile:
+    """Admission proof for the compiled-thread (rendezvous) fast path.
+
+    Proves that every *reachable* wait state of a thread's wait-state
+    machine blocks only on constructs the compiled runtime serves with its
+    lean protocol: pure timed waits, single events on resolvable
+    ``self.<...>`` paths, or blocking calls into audited rendezvous
+    primitives (FIFO/mutex/semaphore channels, arbiter grants, bus
+    transport) whose notifying site is statically known.  Threads with
+    static sensitivity, composite waits, or unresolvable control flow are
+    rejected with a reason, as are threads with no rendezvous wait at all
+    (nothing for the fast path to win).
+    """
+    if getattr(process, "kind", None) != "thread":
+        return RendezvousProfile(False, "not a thread process")
+    if getattr(process, "static_sensitivity", None):
+        return RendezvousProfile(False, "static sensitivity present")
+    pcf = analyze_process(process)
+    if pcf.unresolved:
+        return RendezvousProfile(False, f"control flow unresolved: {pcf.reason}")
+    machine = pcf.flow.machine
+    owner = pcf.owner
+    # Wait-state reachability: only states a run can actually suspend in
+    # need a proof; waits in dead code are ignored.
+    succs: Dict[int, List[int]] = {}
+    for edge in machine.edges:
+        succs.setdefault(edge.src, []).append(edge.dst)
+    seen = {0}
+    stack = [0]
+    while stack:
+        for dst in succs.get(stack.pop(), ()):
+            if dst not in seen:
+                seen.add(dst)
+                stack.append(dst)
+    rendezvous = timed = 0
+    for state in machine.states:
+        if state.kind in ("start", "end") or state.index not in seen:
+            continue
+        if state.kind == "timed":
+            timed += 1
+            continue
+        info = state.info
+        target = info.target if info is not None else None
+        if state.kind == "event":
+            if target is None:
+                return RendezvousProfile(
+                    False, f"composite wait (line {state.lineno})"
+                )
+            resolved = _resolve_path(owner, target)
+            if not isinstance(resolved, Event):
+                return RendezvousProfile(
+                    False,
+                    f"wait target self.{'.'.join(target)} does not resolve "
+                    f"to an event (line {state.lineno})",
+                )
+            rendezvous += 1
+            continue
+        if state.kind == "external":
+            resolved = _resolve_path(owner, target) if target else None
+            rejection = _audited_rendezvous(resolved, info.method if info else "")
+            if rejection is not None:
+                return RendezvousProfile(
+                    False, f"{rejection} (line {state.lineno})"
+                )
+            rendezvous += 1
+            continue
+        return RendezvousProfile(
+            False, f"{state.kind} wait (line {state.lineno})"
+        )
+    if not rendezvous:
+        return RendezvousProfile(
+            False,
+            "no rendezvous waits (nothing for the fast path to win)",
+            rendezvous_states=0,
+            timed_states=timed,
+        )
+    return RendezvousProfile(
+        True,
+        f"{rendezvous} rendezvous + {timed} timed wait states proven",
+        rendezvous_states=rendezvous,
+        timed_states=timed,
+    )
 
 
 # --------------------------------------------------------------------------

@@ -755,10 +755,22 @@ class SchedulePlan:
     #: ``(method_process, rank)`` for every chained method.
     method_ranks: List[Tuple[object, int]] = field(default_factory=list)
     rank_count: int = 0
+    #: Thread processes admitted to the compiled-thread (rendezvous) fast
+    #: path by :func:`repro.analysis.cfg.thread_rendezvous_profile`.  The
+    #: admission pass runs in :func:`repro.kernel.specialize.try_specialize`
+    #: and is independent of the signal plan: a wholesale signal-side bail
+    #: (``fallback_reasons``) does not reject the threads, and vice versa.
+    compiled_threads: List[object] = field(default_factory=list)
+    #: Per-thread admission failures, mirroring ``exclusions`` for signals
+    #: (informational; an excluded thread just stays on the generic
+    #: generator protocol).
+    thread_exclusions: List[str] = field(default_factory=list)
 
     @property
     def specializable(self) -> bool:
-        """True when the fast path applies (no fallback, something to gain)."""
+        """True when the signal fast path applies (no fallback, something
+        to gain).  Compiled threads are admitted separately and do not
+        feed this verdict."""
         return not self.fallback_reasons and bool(
             self.silent_signals or self.chained_signals or self.register_signals
         )

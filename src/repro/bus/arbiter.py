@@ -17,7 +17,7 @@ walks to build wait-for chains.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..kernel import Event, SimulationError
 
@@ -49,6 +49,11 @@ class Arbiter:
         self._queue: List[Tuple[str, int, int, Event]] = []
         self._rr_order: List[str] = []
         self._rr_index = 0
+        # Grant-event pool, one per requester label.  A label can have at
+        # most one outstanding request (the requesting thread is blocked on
+        # it), and immediate notifications leave no state behind, so the
+        # event is inert again by the time the label re-requests.
+        self._grant_pool: Dict[str, Event] = {}
         self.grant_count = 0
         self.contention_count = 0
 
@@ -61,6 +66,21 @@ class Arbiter:
         """Labels currently queued, in request order."""
         return [label for label, _, _, _ in self._queue]
 
+    def try_acquire(self, label: str) -> bool:
+        """Non-blocking acquire: take ownership iff uncontended.
+
+        Exactly the uncontended arm of :meth:`request` without the
+        generator frame — the bus transfer path calls this first so the
+        common single-master case never allocates a generator.  Returns
+        False when the caller must fall back to ``yield from request()``.
+        """
+        if self.owner is None and not self._queue:
+            self.owner = label
+            self.grant_count += 1
+            self._note_requester(label)
+            return True
+        return False
+
     def request(self, label: str, priority: int = 0):
         """Blocking request for ownership (generator; use with ``yield from``)."""
         if self.owner is None and not self._queue:
@@ -68,13 +88,27 @@ class Arbiter:
             self.grant_count += 1
             self._note_requester(label)
             return
+        yield self.enqueue(label, priority)
+        # The grant handler has already set self.owner = label.
+
+    def enqueue(self, label: str, priority: int = 0) -> Event:
+        """Queue a contended request and return its grant event.
+
+        The transfer path yields the returned event directly (after a
+        failed :meth:`try_acquire`) instead of delegating into the
+        :meth:`request` generator, saving a frame per contended transfer.
+        When the event fires, ownership has already been transferred.
+        """
         self.contention_count += 1
         self._note_requester(label)
         self._seq += 1
-        grant = Event(self.sim, f"{self.name}.grant.{label}.{self._seq}")
+        grant = self._grant_pool.get(label)
+        if grant is None:
+            grant = self._grant_pool[label] = Event(
+                self.sim, f"{self.name}.grant.{label}"
+            )
         self._queue.append((label, priority, self._seq, grant))
-        yield grant
-        # The grant handler has already set self.owner = label.
+        return grant
 
     def release(self, label: Optional[str] = None) -> None:
         """Release ownership and grant the next requester per policy."""
@@ -95,6 +129,12 @@ class Arbiter:
 
     # -- policy selection ------------------------------------------------------
     def _select_next(self) -> int:
+        if len(self._queue) == 1:
+            # Every policy grants the sole waiter; round robin must still
+            # advance its rotation pointer to the winner.
+            if self.policy == "round_robin":
+                self._rr_index = self._rr_order.index(self._queue[0][0])
+            return 0
         if self.policy == "fifo":
             return min(range(len(self._queue)), key=lambda i: self._queue[i][2])
         if self.policy == "priority":

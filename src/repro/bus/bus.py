@@ -87,6 +87,16 @@ class Bus(Module, BusMasterIf):
         self.monitor = BusMonitor(name=f"{self.full_name}.monitor")
         self._slaves: List[BusSlaveIf] = []
         self._priorities: Dict[str, int] = {}
+        # One-entry decode cache: (low, high, slave) of the last hit,
+        # invalidated whenever the slave map changes, so a hit is always a
+        # registered slave.  Bounds are snapshotted to skip the interface
+        # method calls on the hot path (slave ranges are fixed; DRCF
+        # reconfiguration swaps slaves, which invalidates the entry).
+        self._decode_cache: Optional[tuple] = None
+        # Cycle-count -> SimTime cache; cycle durations on the transfer path
+        # repeat endlessly for the same burst sizes.  Keyed only by count:
+        # ``clock_freq_hz`` is fixed at construction.
+        self._cycle_cache: Dict[int, SimTime] = {}
 
     # -- construction -----------------------------------------------------------
     @property
@@ -114,10 +124,12 @@ class Bus(Module, BusMasterIf):
                     f"{self._slave_name(other)}"
                 )
         self._slaves.append(slave)
+        self._decode_cache = None
 
     def unregister_slave(self, slave: BusSlaveIf) -> None:
         """Detach a slave (used by the DRCF model transformation)."""
         self._slaves.remove(slave)
+        self._decode_cache = None
 
     @property
     def slaves(self) -> List[BusSlaveIf]:
@@ -129,15 +141,23 @@ class Bus(Module, BusMasterIf):
 
     def decode(self, addr: int) -> BusSlaveIf:
         """The slave whose range contains ``addr``."""
+        cached = self._decode_cache
+        if cached is not None and cached[0] <= addr <= cached[1]:
+            return cached[2]
         for slave in self._slaves:
-            if slave.get_low_add() <= addr <= slave.get_high_add():
+            low, high = slave.get_low_add(), slave.get_high_add()
+            if low <= addr <= high:
+                self._decode_cache = (low, high, slave)
                 return slave
         raise SimulationError(f"bus {self.full_name}: no slave decodes address {addr:#x}")
 
     # -- timing helpers ------------------------------------------------------------
     def cycles(self, n: int) -> SimTime:
         """``n`` bus-clock cycles as a duration."""
-        return cycles_to_time(n, self.clock_freq_hz)
+        t = self._cycle_cache.get(n)
+        if t is None:
+            t = self._cycle_cache[n] = cycles_to_time(n, self.clock_freq_hz)
+        return t
 
     def transfer_time(self, words: int) -> SimTime:
         """Pure data-path occupancy for a ``words``-word burst."""
@@ -145,11 +165,14 @@ class Bus(Module, BusMasterIf):
 
     # -- BusMasterIf -------------------------------------------------------------
     def read(self, addr: int, count: int = 1, master: str = "?", tags: Sequence[str] = ()):
-        """Arbitrated burst read (generator). Returns a list of words."""
+        """Arbitrated burst read (use with ``yield from``). Returns a list of words.
+
+        Validates eagerly and returns the transfer generator directly, so
+        each resume walks one frame less of delegation.
+        """
         if count <= 0:
             raise SimulationError("burst read count must be positive")
-        result = yield from self._transfer("read", addr, count, None, master, tags)
-        return result
+        return self._transfer("read", addr, count, None, master, tags)
 
     def write(
         self,
@@ -158,10 +181,9 @@ class Bus(Module, BusMasterIf):
         master: str = "?",
         tags: Sequence[str] = (),
     ):
-        """Arbitrated burst write (generator). Returns True on success."""
+        """Arbitrated burst write (use with ``yield from``). Returns True on success."""
         words = normalize_write_data(data)
-        yield from self._transfer("write", addr, len(words), words, master, tags)
-        return True
+        return self._transfer("write", addr, len(words), words, master, tags)
 
     # -- core transfer ----------------------------------------------------------------
     def _transfer(
@@ -173,49 +195,75 @@ class Bus(Module, BusMasterIf):
         master: str,
         tags: Sequence[str],
     ):
-        issued_at = self.sim.now
+        sim = self.sim
+        issued_at = sim.now
         priority = self._priorities.get(master, 0)
-        slave = self.decode(addr)  # decode errors surface before arbitration
-        yield from self.arbiter.request(master, priority)
-        granted_at = self.sim.now
+        self.decode(addr)  # decode errors surface before arbitration
+        arbiter = self.arbiter
+        if arbiter.try_acquire(master):
+            granted_at = issued_at  # uncontended: granted in the same instant
+        else:
+            yield arbiter.enqueue(master, priority)
+            granted_at = sim.now
+        # Decode again now that the grant is held: the DRCF model
+        # transformation may have swapped the slave map while this master
+        # waited out arbitration, and the transfer must target the map
+        # that is current at grant time.
+        slave = self.decode(addr)
         data: Optional[List[int]] = None
+        status: Optional[str] = "ok"
         try:
             yield self.cycles(self.address_phase_cycles)
             if self.protocol == "blocking":
-                data = yield from self._slave_call(slave, kind, addr, count, payload)
+                if kind == "read":
+                    data = yield from slave.read(addr, count)
+                else:
+                    yield from slave.write(
+                        addr, payload if len(payload) > 1 else payload[0]
+                    )
                 yield self.cycles(count * self.cycles_per_word)
             else:
                 # Split: release the bus while the slave processes.
                 yield self.cycles(1)  # request transfer beat
-                self.arbiter.release(master)
-                data = yield from self._slave_call(slave, kind, addr, count, payload)
-                yield from self.arbiter.request(master, priority)
+                arbiter.release(master)
+                if kind == "read":
+                    data = yield from slave.read(addr, count)
+                else:
+                    yield from slave.write(
+                        addr, payload if len(payload) > 1 else payload[0]
+                    )
+                if not arbiter.try_acquire(master):
+                    yield arbiter.enqueue(master, priority)
                 yield self.cycles(count * self.cycles_per_word)
+        except GeneratorExit:
+            status = None  # master killed mid-transfer: nothing completed
+            raise
+        except BaseException:
+            status = "error"
+            raise
         finally:
-            if self.arbiter.owner == master:
-                self.arbiter.release(master)
-        self.monitor.record(
-            Transaction(
-                kind=kind,
-                master=master,
-                slave=self._slave_name(slave),
-                addr=addr,
-                words=count,
-                issued_at=issued_at,
-                granted_at=granted_at,
-                completed_at=self.sim.now,
-                tags=list(tags),
-            )
-        )
-        return data
-
-    @staticmethod
-    def _slave_call(slave: BusSlaveIf, kind: str, addr: int, count: int, payload):
-        if kind == "read":
-            data = yield from slave.read(addr, count)
-            return data
-        yield from slave.write(addr, payload if len(payload) > 1 else payload[0])
-        return None
+            if arbiter.owner == master:
+                arbiter.release(master)
+            if status is not None:
+                # Failed slave calls are recorded too (status="error"):
+                # they occupied the bus until the failure point, and
+                # silently dropping them would corrupt the monitor's
+                # occupancy and contention accounting.
+                self.monitor.record(
+                    Transaction(
+                        kind=kind,
+                        master=master,
+                        slave=self._slave_name(slave),
+                        addr=addr,
+                        words=count,
+                        issued_at=issued_at,
+                        granted_at=granted_at,
+                        completed_at=sim.now,
+                        tags=list(tags),
+                        status=status,
+                    )
+                )
+        return data if kind == "read" else True
 
     @staticmethod
     def _slave_name(slave: BusSlaveIf) -> str:

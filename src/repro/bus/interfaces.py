@@ -76,7 +76,7 @@ class InterruptIf(Interface):
         """Signal completion to the sink."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One completed bus transfer, as recorded by the bus monitor."""
 
@@ -89,6 +89,13 @@ class Transaction:
     granted_at: SimTime
     completed_at: SimTime
     tags: List[str] = field(default_factory=list)
+    #: "ok" for completed transfers; "error" when the slave call raised.
+    #: Errored transfers still occupied the bus, so the monitor records them.
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def arbitration_wait(self) -> SimTime:

@@ -86,6 +86,9 @@ class Memory(Module, BusSlaveIf):
         self._store: Dict[int, int] = {}
         self.read_word_count = 0
         self.write_word_count = 0
+        # Burst-size -> SimTime cache: workloads issue the same burst
+        # lengths over and over, and SimTime construction is pure.
+        self._burst_cache: Dict[int, object] = {}
 
     # -- BusSlaveIf ----------------------------------------------------------
     def get_low_add(self) -> int:
@@ -94,14 +97,24 @@ class Memory(Module, BusSlaveIf):
     def get_high_add(self) -> int:
         return self.base + self.size_words * self.word_bytes - 1
 
+    def _burst_time(self, count: int):
+        t = self._burst_cache.get(count)
+        if t is None:
+            t = self._burst_cache[count] = cycles_to_time(
+                self.latency_cycles + (count - 1) * self.cycles_per_word,
+                self.clock_freq_hz,
+            )
+        return t
+
     def read(self, addr: int, count: int = 1):
         """Burst read (generator); returns ``count`` words."""
         index = self._index(addr, count)
-        yield cycles_to_time(
-            self.latency_cycles + (count - 1) * self.cycles_per_word, self.clock_freq_hz
-        )
+        yield self._burst_time(count)
         self.read_word_count += count
-        data = [self._store.get(index + i, self.fill) for i in range(count)]
+        if count == 1:
+            data = [self._store.get(index, self.fill)]
+        else:
+            data = [self._store.get(index + i, self.fill) for i in range(count)]
         hook = self.fault_hook
         if hook is not None:
             data = hook.on_memory_read(self, addr, count, data)
@@ -109,12 +122,15 @@ class Memory(Module, BusSlaveIf):
 
     def write(self, addr: int, data: Union[int, Sequence[int]]):
         """Burst write (generator); returns True."""
+        if type(data) is int:  # scalar single-word write: skip normalization
+            index = self._index(addr, 1)
+            yield self._burst_time(1)
+            self._store[index] = data
+            self.write_word_count += 1
+            return True
         words = normalize_write_data(data)
         index = self._index(addr, len(words))
-        yield cycles_to_time(
-            self.latency_cycles + (len(words) - 1) * self.cycles_per_word,
-            self.clock_freq_hz,
-        )
+        yield self._burst_time(len(words))
         for i, word in enumerate(words):
             self._store[index + i] = word
         self.write_word_count += len(words)

@@ -88,8 +88,30 @@ class Fifo(Generic[T]):
         return item
 
 
+class _MutexWaiter:
+    """One queued acquirer: its label, private grant event, and grant flag.
+
+    A token per waiter (rather than a shared released-event plus label list)
+    makes the hand-off race-free: ``unlock`` wakes exactly one waiter, and a
+    killed waiter removes *its own* token even when several waiters share a
+    label.
+    """
+
+    __slots__ = ("label", "event", "granted")
+
+    def __init__(self, label: str, event: Event) -> None:
+        self.label = label
+        self.event = event
+        self.granted = False
+
+
 class Mutex:
-    """A mutual-exclusion lock with FIFO granting and owner tracking."""
+    """A mutual-exclusion lock with FIFO granting and owner tracking.
+
+    ``unlock`` hands the lock *directly* to the longest waiter: ownership
+    transfers before any other process runs, so a ``try_lock`` issued
+    between release and the waiter's resumption cannot barge in.
+    """
 
     def __init__(self, sim: "Simulator", name: str = "mutex") -> None:
         self.sim = sim
@@ -98,7 +120,8 @@ class Mutex:
         #: Name of the owning process/agent (caller-supplied label).
         self.owner: Optional[str] = None
         self._released = Event(sim, f"{name}.released")
-        self._wait_queue: List[str] = []
+        self._wait_queue: List[_MutexWaiter] = []
+        self._seq = 0
         self.contention_count = 0
 
     @property
@@ -108,7 +131,7 @@ class Mutex:
     @property
     def waiters(self) -> List[str]:
         """Labels of agents currently queued for the lock."""
-        return list(self._wait_queue)
+        return [token.label for token in self._wait_queue]
 
     def try_lock(self, owner: str = "?") -> bool:
         """Non-blocking acquire."""
@@ -120,24 +143,40 @@ class Mutex:
 
     def lock(self, owner: str = "?"):
         """Blocking acquire (generator; use with ``yield from``)."""
-        if self._locked:
-            self.contention_count += 1
-            self._wait_queue.append(owner)
-            try:
-                while self._locked:
-                    yield self._released
-            finally:
-                self._wait_queue.remove(owner)
-        self._locked = True
-        self.owner = owner
+        if not self._locked:
+            self._locked = True
+            self.owner = owner
+            return
+        self.contention_count += 1
+        self._seq += 1
+        token = _MutexWaiter(owner, Event(self.sim, f"{self.name}.grant.{self._seq}"))
+        self._wait_queue.append(token)
+        try:
+            while not token.granted:
+                yield token.event
+        except GeneratorExit:
+            if token.granted:
+                # Granted but the waiter died before resuming: pass it on.
+                self.unlock()
+            else:
+                self._wait_queue.remove(token)
+            raise
 
     def unlock(self) -> None:
-        """Release; the longest-waiting blocked acquirer wins the next grab."""
+        """Release; ownership passes directly to the longest waiter."""
         if not self._locked:
             raise SimulationError(f"mutex {self.name} unlocked while not locked")
+        if self._wait_queue:
+            token = self._wait_queue.pop(0)
+            token.granted = True
+            # The lock stays held across the hand-off; only the owner label
+            # changes.  No instant exists where try_lock could succeed.
+            self.owner = token.label
+            token.event.notify()  # immediate: winner resumes in this phase
+            return
         self._locked = False
         self.owner = None
-        self._released.notify()  # immediate: FIFO of waiters resumes in order
+        self._released.notify()  # observers (deadlock probes) see the release
 
 
 class Semaphore:

@@ -81,6 +81,7 @@ class SimulatorStats:
         "signal_updates",
         "specialized_commits",
         "register_commits",
+        "compiled_thread_waits",
     )
 
     def __init__(self) -> None:
@@ -100,6 +101,12 @@ class SimulatorStats:
         #: notification scan is skipped.  A subset of ``signal_updates``,
         #: reported separately; always 0 on the generic path.
         self.register_commits = 0
+        #: Waits armed through the compiled-thread fast path
+        #: (:class:`repro.kernel.specialize._CompiledThread`): timed waits
+        #: served by a pooled heap entry and event waits served by the
+        #: direct-dispatch slot, both skipping the generic WaitHandle
+        #: machinery.  Always 0 on the generic path.
+        self.compiled_thread_waits = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dictionary (for reports)."""
@@ -110,6 +117,7 @@ class SimulatorStats:
             "signal_updates": self.signal_updates,
             "specialized_commits": self.specialized_commits,
             "register_commits": self.register_commits,
+            "compiled_thread_waits": self.compiled_thread_waits,
         }
 
 
@@ -153,6 +161,9 @@ class Simulator:
         self._pending_count = 0
         #: Signals whose class was swapped to a fast variant (for revert).
         self._fast_signals: List[object] = []
+        #: Thread processes whose class was swapped to the compiled-thread
+        #: fast variant (for revert).
+        self._compiled_threads: List[object] = []
         #: The :class:`~repro.analysis.dataflow.SchedulePlan` built at
         #: :meth:`initialize`, or None (specialization disabled / analysis
         #: layer unavailable).

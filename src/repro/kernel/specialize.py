@@ -51,9 +51,22 @@ generic path unconditionally.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, List
 
+from .event import Event
+from .process import (
+    _READY,
+    _RUNNING,
+    _TERMINATED,
+    _WAITING,
+    TIMEOUT,
+    ProcessError,
+    ThreadProcess,
+)
 from .signal import Signal
+from .simtime import SimTime
+from .simulator import TimedAction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .simulator import Simulator
@@ -165,6 +178,136 @@ class _RegisterSignal(Signal):
         self.sim.stats.register_commits += 1
 
 
+class _CompiledThread(ThreadProcess):
+    """Fast variant for a thread the rendezvous admission pass proved.
+
+    ``__slots__ = ()`` keeps the layout identical to
+    :class:`ThreadProcess`, so admission and revert are plain class swaps.
+
+    The compiled runtime drives the thread's wait-state machine without
+    the generic ``WaitHandle`` protocol:
+
+    * a timed wait reuses one pooled :class:`TimedAction` per thread —
+      no per-wait allocation, no ``arm_timeout``/``_on_timeout``
+      indirection — pushed with exactly the sequence number the generic
+      path would have drawn;
+    * a single-event wait arms the event's direct-dispatch slot
+      (``Event._direct``) when no dynamic waiter precedes it, so the
+      notifying site resumes the thread straight from ``_trigger`` with
+      no waiter-dict traffic.
+
+    Order preservation is the correctness argument: both fast waits make
+    the thread runnable at the same queue positions (same heap ordering,
+    same resume point between the static and dynamic scans) the generic
+    protocol would have used, so observable traces are byte-identical by
+    construction.  Anything the runtime does not recognise — a composite
+    ``AnyOf``/``AllOf``, an event that already has dynamic waiters, a
+    static wait — falls back to :meth:`ThreadProcess._suspend_on` for
+    that wait only; the admission proof
+    (:func:`repro.analysis.cfg.thread_rendezvous_profile`) exists to keep
+    such fallbacks rare and the exclusions diagnosable.  Fast waits are
+    counted in ``stats.compiled_thread_waits``.
+    """
+
+    __slots__ = ()
+
+    def _execute(self) -> None:
+        if self.state is _TERMINATED:
+            return
+        self.state = _RUNNING
+        gen = self._gen
+        if gen is None:
+            gen = self._fn()
+            if not hasattr(gen, "send"):
+                # Plain callable: ran to completion already.
+                self._terminate()
+                return
+            self._gen = gen
+            send_value = None
+        else:
+            send_value = self._resume_value
+            self._resume_value = None
+        try:
+            spec = gen.send(send_value)
+        except StopIteration:
+            self._terminate()
+            return
+        except Exception as exc:
+            self._terminate()
+            raise ProcessError(self.name, f"{type(exc).__name__}: {exc}") from exc
+        cls = spec.__class__
+        if cls is SimTime:
+            delay_fs = spec._fs
+            if delay_fs >= 0:
+                sim = self.sim
+                sim.stats.compiled_thread_waits += 1
+                self.state = _WAITING
+                self._wait_spec = spec
+                handle = self._wait_handle
+                action = handle.timed_action
+                sim._seq += 1
+                if action is None:
+                    action = TimedAction(
+                        sim._now_fs + delay_fs, sim._seq, self._fast_timed_resume
+                    )
+                    handle.timed_action = action
+                else:
+                    # Pool invariant: the action left the heap when it fired
+                    # (a compiled timed wait only ends that way), so it can
+                    # be re-armed in place.
+                    action.time_fs = sim._now_fs + delay_fs
+                    action.seq = sim._seq
+                    action.cancelled = False
+                heappush(sim._timed_heap, action)
+                self._handle = action
+                return
+            # Negative delay: the generic path raises the proper error.
+        elif cls is Event:
+            if spec._direct is None and not spec._dynamic_waiters:
+                self.sim.stats.compiled_thread_waits += 1
+                self.state = _WAITING
+                self._wait_spec = spec
+                self._handle = spec
+                spec._direct = self
+                return
+            # A dynamic waiter registered first: the direct slot would
+            # jump the queue, so take the generic protocol for this wait.
+        self._suspend_on(spec)
+
+    def _fast_timed_resume(self) -> None:
+        if self.state is not _WAITING:
+            return
+        self._handle = None
+        self._resume_value = TIMEOUT
+        self.state = _READY
+        self._wait_spec = None
+        self.sim._runnable.append(self)
+
+    def _direct_resume(self, event: Event) -> None:
+        if self.state is not _WAITING or self._handle is not event:
+            return
+        self._handle = None
+        self._resume_value = event
+        self.state = _READY
+        self._wait_spec = None
+        self.sim._runnable.append(self)
+
+    def _terminate(self) -> None:
+        handle = self._handle
+        if handle is not None:
+            hcls = handle.__class__
+            if hcls is TimedAction:
+                handle.cancelled = True
+                self._handle = None
+            elif hcls is Event:
+                if handle._direct is self:
+                    handle._direct = None
+                self._handle = None
+            # else: a generic WaitHandle (per-wait fallback) —
+            # ThreadProcess._terminate disarms it as usual.
+        ThreadProcess._terminate(self)
+
+
 def _live_fallback_reasons(sim: "Simulator") -> List[str]:
     """Cheap pre-analysis checks on the live design (hooks, hierarchy).
 
@@ -210,11 +353,41 @@ def try_specialize(sim: "Simulator") -> bool:
         return False
     plan = build_schedule_plan(sim)
     sim.schedule_plan = plan
-    if not plan.specializable:
-        reasons.extend(plan.fallback_reasons)
-        return False
-    apply_plan(sim, plan)
-    return True
+    # Rendezvous admission runs independently of the signal plan: a
+    # wholesale signal-side bail (blocking transport is exactly the case)
+    # must not reject the threads, and vice versa.
+    _admit_threads(sim, plan)
+    if plan.specializable:
+        apply_plan(sim, plan)
+    if plan.compiled_threads:
+        apply_compiled_threads(sim, plan)
+    if sim._specialized:
+        return True
+    reasons.extend(plan.fallback_reasons)
+    return False
+
+
+def _admit_threads(sim: "Simulator", plan) -> None:
+    """Rendezvous admission pass: prove threads for the compiled runtime.
+
+    Every registered plain :class:`ThreadProcess` is offered to
+    :func:`repro.analysis.cfg.thread_rendezvous_profile`; proven threads
+    land in ``plan.compiled_threads``, rejected ones get a per-thread
+    reason in ``plan.thread_exclusions`` (mirroring the per-signal
+    ``exclusions`` — never a wholesale bail).
+    """
+    try:
+        from ..analysis.cfg import thread_rendezvous_profile
+    except ImportError:  # kernel used standalone, no analysis layer
+        return
+    for process in sim._processes:
+        if process.kind != "thread" or type(process) is not ThreadProcess:
+            continue
+        profile = thread_rendezvous_profile(process)
+        if profile.admissible:
+            plan.compiled_threads.append(process)
+        else:
+            plan.thread_exclusions.append(f"thread {process.name}: {profile.reason}")
 
 
 def apply_plan(sim: "Simulator", plan) -> None:
@@ -237,6 +410,15 @@ def apply_plan(sim: "Simulator", plan) -> None:
     sim._specialized = True
 
 
+def apply_compiled_threads(sim: "Simulator", plan) -> None:
+    """Swap the admitted threads to the compiled runtime (class swap)."""
+    tracked = sim._compiled_threads
+    for thread in plan.compiled_threads:
+        thread.__class__ = _CompiledThread
+        tracked.append(thread)
+    sim._specialized = True
+
+
 def revert(sim: "Simulator", reason: str) -> None:
     """Return a specialized simulator to the generic scheduler, mid-run safe.
 
@@ -252,6 +434,9 @@ def revert(sim: "Simulator", reason: str) -> None:
         sig.__class__ = Signal
         sig._dependents = None
     sim._fast_signals = []
+    for thread in sim._compiled_threads:
+        _revert_thread(thread)
+    sim._compiled_threads = []
     for bucket in sim._pending_buckets:
         if bucket:
             for proc in bucket:
@@ -261,3 +446,39 @@ def revert(sim: "Simulator", reason: str) -> None:
     sim._pending_count = 0
     sim._pending_buckets = []
     sim.specialize_fallback_reasons.append(reason)
+
+
+def _revert_thread(thread) -> None:
+    """Return a compiled thread to the generic protocol, mid-wait safe.
+
+    An in-flight fast wait is rewritten into the exact generic wait it
+    mirrors, losslessly: the pooled heap entry keeps its ``(time, seq)``
+    slot but is re-routed through the ``WaitHandle`` timeout path, and a
+    direct event slot is re-registered at the *front* of the event's
+    dynamic waiters — preserving the wake-up order the slot represented.
+    """
+    handle = thread._handle
+    thread.__class__ = ThreadProcess
+    if handle is None:
+        return
+    hcls = handle.__class__
+    wh = thread._wait_handle
+    if hcls is TimedAction:
+        handle.callback = wh._on_timeout
+        wh.timed_action = handle
+        wh.active = True
+        wh.is_all = False
+        thread._handle = wh
+    elif hcls is Event:
+        if handle._direct is thread:
+            handle._direct = None
+        wh.timed_action = None  # drop the (popped) pooled action, if any
+        wh.active = True
+        wh.is_all = False
+        wh.events.append(handle)
+        rebuilt = {wh: None}
+        rebuilt.update(handle._dynamic_waiters)
+        handle._dynamic_waiters = rebuilt
+        thread._handle = wh
+    # else: a generic WaitHandle from a per-wait fallback — already the
+    # generic protocol, nothing to rewrite.

@@ -72,6 +72,102 @@ class TestRoundRobin:
             assert len({granted[i], granted[i + 1], granted[i + 2]}) == 3
 
 
+class TestRoundRobinWraparound:
+    def test_pointer_wraps_past_end_of_rotation_order(self, sim):
+        """The rotation pointer must wrap from the last label back to the
+        first: after "c" (last in rotation order) wins, the next grant with
+        "a" and "b" queued must go to "a", not scan off the end."""
+        arbiter = Arbiter(sim, "round_robin", "a")
+        order = []
+        # Register rotation order a, b, c via first requests; four rounds
+        # drive the pointer across the a->b->c->a seam repeatedly.
+        for label in ("a", "b", "c"):
+            sim.spawn(label, contender(sim, arbiter, label, order, hold=5, rounds=4))
+        sim.run()
+        granted = [o[0] for o in order]
+        assert granted[:3] == ["a", "b", "c"]
+        # Every wrap point hands back to "a".
+        assert granted == ["a", "b", "c"] * 4
+
+    def test_sole_waiter_grant_advances_pointer(self, sim):
+        """Granting a lone waiter must still move the rotation pointer to
+        that winner, or the next contended round would double-grant it."""
+        arbiter = Arbiter(sim, "round_robin", "a")
+        order = []
+
+        def staggered(label, start, rounds):
+            def body():
+                yield ns(start)
+                for _ in range(rounds):
+                    yield from arbiter.request(label)
+                    order.append((label, sim.now.to_ns()))
+                    yield ns(10)
+                    arbiter.release(label)
+
+            return body
+
+        # Phase 1: "a" and "b" alternate with single-waiter queues.
+        sim.spawn("a", staggered("a", 0, 2))
+        sim.spawn("b", staggered("b", 1, 2))
+        # Phase 2: both re-contend together with "c"; rotation must resume
+        # from wherever the lone-waiter grants left the pointer.
+        sim.spawn("a2", staggered("a", 50, 2))
+        sim.spawn("b2", staggered("b", 50, 2))
+        sim.spawn("c2", staggered("c", 50, 2))
+        sim.run()
+        granted = [o[0] for o in order]
+        tail = granted[4:]
+        assert sorted(tail) == ["a", "a", "b", "b", "c", "c"]
+        # No requester gets two grants in a row while the others wait.
+        for i in range(len(tail) - 1):
+            assert tail[i] != tail[i + 1]
+
+    def test_release_while_queued_grants_in_same_instant(self, sim):
+        """Ownership transfers inside release(): the winner's grant time is
+        the release instant, with no dead cycle in between."""
+        arbiter = Arbiter(sim, "fifo", "a")
+        order = []
+        sim.spawn("x", contender(sim, arbiter, "x", order, hold=10))
+        sim.spawn("y", contender(sim, arbiter, "y", order, hold=10))
+        sim.run()
+        assert order == [("x", 0.0), ("y", 10.0)]
+        assert arbiter.contention_count == 1
+        assert arbiter.grant_count == 2
+
+
+class TestTryAcquire:
+    def test_uncontended_takes_ownership(self, sim):
+        arbiter = Arbiter(sim, "fifo", "a")
+        assert arbiter.try_acquire("m")
+        assert arbiter.owner == "m"
+        assert arbiter.grant_count == 1
+        assert arbiter.contention_count == 0
+
+    def test_fails_while_owned(self, sim):
+        arbiter = Arbiter(sim, "fifo", "a")
+        arbiter.try_acquire("m")
+        assert not arbiter.try_acquire("other")
+        assert arbiter.owner == "m"
+        arbiter.release("m")
+        assert arbiter.try_acquire("other")
+
+    def test_matches_request_bookkeeping(self, sim):
+        """try_acquire and the uncontended arm of request() are equivalent:
+        same owner, counters and rotation-order note."""
+        a1 = Arbiter(sim, "round_robin", "a1")
+        a1.try_acquire("m")
+        a2 = Arbiter(sim, "round_robin", "a2")
+
+        def body():
+            yield from a2.request("m")
+
+        sim.spawn("p", body)
+        sim.run()
+        assert (a1.owner, a1.grant_count, a1._rr_order) == (
+            a2.owner, a2.grant_count, a2._rr_order
+        )
+
+
 class TestErrors:
     def test_unknown_policy(self, sim):
         with pytest.raises(ValueError, match="unknown arbitration policy"):

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.bus import Bus, Memory
-from repro.kernel import SimulationError, Simulator, ns, us
+from repro.bus.interfaces import BusSlaveIf
+from repro.kernel import ProcessError, SimulationError, Simulator, ns, us
 from tests.conftest import drive
 
 
@@ -197,6 +198,168 @@ class TestSplitProtocol:
     def test_invalid_width_rejected(self, sim):
         with pytest.raises(ValueError, match="multiple of 8"):
             Bus("b", sim=sim, data_width_bits=12)
+
+
+class TestMidArbitrationReconfiguration:
+    """The DRCF transformation may swap the slave map while a master waits
+    out arbitration: the transfer must target the map current at *grant*
+    time, not the one seen at issue time."""
+
+    def test_queued_master_hits_slave_registered_after_issue(self, sim):
+        bus, mem1 = make_system(sim, mem_latency=50)
+        mem2 = Memory(
+            "mem2", sim=sim, base=0x1000, size_words=256,
+            latency_cycles=2, clock_freq_hz=100e6,
+        )
+        mem2.poke(0x1000, 0xBEEF)
+
+        def m1():
+            # Holds the bus well past the swap (50-cycle memory latency).
+            yield from bus.write(0x1000, 99, master="m1")
+
+        def m2():
+            yield ns(1)  # issue while m1 owns the bus; decode sees mem1
+            data = yield from bus.read(0x1000, 1, master="m2")
+            return data
+
+        def reconfigure():
+            yield ns(100)  # mid-arbitration: m1 busy, m2 queued
+            assert bus.arbiter.waiters == ["m2"]
+            bus.unregister_slave(mem1)
+            bus.register_slave(mem2)
+
+        sim.spawn("m1", m1)
+        box = drive(sim, m2, name="m2")
+        sim.spawn("cfg", reconfigure)
+        sim.run()
+        # m2 re-decoded at grant time and read the *new* slave.
+        assert box.value == [0xBEEF]
+        assert bus.monitor.transactions[-1].slave == "mem2"
+        # m1 resolved its slave at its own grant time: the in-flight write
+        # landed in the old memory even though it was swapped out mid-burst.
+        assert mem1.peek(0x1000) == [99]
+        assert mem2.peek(0x1000) == [0xBEEF]
+
+    def test_decode_error_surfaces_before_arbitration(self, sim):
+        bus, _ = make_system(sim)
+
+        def holder():
+            yield from bus.read(0x1000, 8, master="holder")
+
+        def stray():
+            yield ns(1)
+            yield from bus.read(0x9000, 1, master="stray")
+
+        sim.spawn("h", holder)
+        sim.spawn("s", stray)
+        with pytest.raises(ProcessError, match="no slave decodes"):
+            sim.run()
+        # The bad request never reached the arbiter queue.
+        assert bus.arbiter.contention_count == 0
+
+
+class _FaultySlave(BusSlaveIf):
+    """A slave whose data phase dies partway through."""
+
+    def __init__(self, base=0x2000, size=64 * 4):
+        self.base = base
+        self.size = size
+
+    def get_low_add(self):
+        return self.base
+
+    def get_high_add(self):
+        return self.base + self.size - 1
+
+    def read(self, addr, count=1):
+        yield ns(30)
+        raise RuntimeError("target abort")
+
+    def write(self, addr, data):
+        yield ns(30)
+        raise RuntimeError("target abort")
+
+
+class TestErrorTransactions:
+    def test_slave_error_recorded_with_error_status(self, sim):
+        bus, _ = make_system(sim)
+        bus.register_slave(_FaultySlave())
+
+        def body():
+            yield from bus.read(0x2000, 1, master="cpu")
+
+        sim.spawn("p", body)
+        with pytest.raises(ProcessError, match="target abort"):
+            sim.run()
+        monitor = bus.monitor
+        assert monitor.transaction_count == 1
+        txn = monitor.transactions[0]
+        assert txn.status == "error"
+        assert not txn.ok
+        assert txn.completed_at.to_ns() == 40.0  # addr phase + 30ns of slave
+        assert monitor.error_count == 1
+        # The failed master must not leave the bus locked.
+        assert bus.arbiter.owner is None
+
+    def test_successful_transactions_report_ok(self, sim):
+        bus, _ = make_system(sim)
+
+        def body():
+            yield from bus.write(0x1000, 1, master="cpu")
+
+        sim.spawn("p", body)
+        sim.run()
+        txn = bus.monitor.transactions[0]
+        assert txn.status == "ok" and txn.ok
+        assert bus.monitor.error_count == 0
+
+    def test_error_transactions_count_in_summary_schema(self, sim):
+        """summary() keys are a stable report schema; errored transfers feed
+        the existing aggregates rather than changing the shape."""
+        bus, _ = make_system(sim)
+        bus.register_slave(_FaultySlave())
+
+        def good():
+            yield from bus.write(0x1000, 1, master="cpu")
+
+        def bad():
+            yield ns(100)
+            yield from bus.read(0x2000, 1, master="cpu")
+
+        sim.spawn("g", good)
+        sim.spawn("b", bad)
+        with pytest.raises(ProcessError):
+            sim.run()
+        summary = bus.monitor.summary()
+        assert set(summary) == {
+            "transactions",
+            "total_words",
+            "config_words",
+            "data_words",
+            "busy_time_ns",
+            "mean_arbitration_wait_ns",
+            "words_by_master",
+        }
+        assert summary["transactions"] == 2
+
+    def test_killed_master_records_nothing(self, sim):
+        """A master killed mid-transfer completed nothing: no transaction,
+        and the arbiter is released for the next master."""
+        bus, _ = make_system(sim, mem_latency=50)
+
+        def victim():
+            yield from bus.read(0x1000, 1, master="victim")
+
+        proc = sim.spawn("victim", victim)
+
+        def killer():
+            yield ns(100)  # mid-burst
+            proc.kill()
+
+        sim.spawn("killer", killer)
+        sim.run()
+        assert bus.monitor.transaction_count == 0
+        assert bus.arbiter.owner is None
 
 
 class TestMonitorIntegration:

@@ -146,6 +146,116 @@ class TestMutex:
         assert len(count) == 3
 
 
+class TestMutexHandoff:
+    """Direct FIFO hand-off: unlock transfers ownership before anyone runs."""
+
+    def test_no_barging_between_unlock_and_resume(self, sim):
+        mutex = Mutex(sim, "m")
+        log = []
+
+        def holder():
+            yield from mutex.lock("holder")
+            yield ns(10)
+            mutex.unlock()
+            # The waiter has not resumed yet, but ownership already moved:
+            # a try_lock in this window must lose.
+            log.append(("barge", mutex.try_lock("barger")))
+            log.append(("owner", mutex.owner))
+
+        def waiter():
+            yield ns(1)  # queue behind the holder
+            yield from mutex.lock("waiter")
+            log.append(("acquired", sim.now.to_ns()))
+            mutex.unlock()
+
+        sim.spawn("h", holder)
+        sim.spawn("w", waiter)
+        sim.run()
+        assert ("barge", False) in log
+        assert ("owner", "waiter") in log
+        assert ("acquired", 10.0) in log
+
+    def test_exactly_one_waiter_wakes_per_unlock(self, sim):
+        mutex = Mutex(sim, "m")
+        wakeups = []
+        acquisitions = []
+
+        def contender(label):
+            def body():
+                yield from mutex.lock(label)
+                wakeups.append(label)
+                acquisitions.append((label, sim.now.to_ns()))
+                yield ns(10)
+                mutex.unlock()
+
+            return body
+
+        for label in ("a", "b", "c", "d"):
+            sim.spawn(label, contender(label))
+        sim.run()
+        # FIFO order, one grant per release, 10 ns apart — losers are never
+        # resumed just to re-block (no thundering herd on the lock).
+        assert acquisitions == [
+            ("a", 0.0), ("b", 10.0), ("c", 20.0), ("d", 30.0)
+        ]
+        assert wakeups == ["a", "b", "c", "d"]
+
+    def test_killed_waiter_removes_its_own_entry_with_shared_labels(self, sim):
+        mutex = Mutex(sim, "m")
+        mutex.try_lock("holder")
+        acquired = []
+
+        def waiter(tag):
+            def body():
+                yield from mutex.lock("shared")  # same label on purpose
+                acquired.append(tag)
+                mutex.unlock()
+
+            return body
+
+        sim.spawn("w1", waiter("w1"))
+        w2 = sim.spawn("w2", waiter("w2"))
+
+        def controller():
+            yield ns(5)
+            w2.kill()  # must remove w2's entry, not the first "shared" entry
+            yield ns(5)
+            mutex.unlock()
+
+        sim.spawn("ctl", controller)
+        sim.run()
+        assert acquired == ["w1"]
+        assert not mutex.locked
+        assert mutex.waiters == []
+
+    def test_waiter_killed_after_grant_passes_lock_on(self, sim):
+        mutex = Mutex(sim, "m")
+        mutex.try_lock("holder")
+        acquired = []
+
+        def waiter(label):
+            def body():
+                yield from mutex.lock(label)
+                acquired.append(label)
+                mutex.unlock()
+
+            return body
+
+        doomed = sim.spawn("doomed", waiter("doomed"))
+        sim.spawn("next", waiter("next"))
+
+        def controller():
+            yield ns(5)
+            mutex.unlock()  # grants "doomed" (not yet resumed) ...
+            doomed.kill()  # ... who dies holding the grant: must pass it on
+
+        sim.spawn("ctl", controller)
+        sim.run()
+        assert acquired == ["next"]
+        assert not mutex.locked
+        assert mutex.owner is None
+
+
 class TestSemaphore:
     def test_counting(self, sim):
         sem = Semaphore(sim, 2, "s")
@@ -177,3 +287,121 @@ class TestSemaphore:
     def test_negative_initial_rejected(self, sim):
         with pytest.raises(ValueError):
             Semaphore(sim, -1)
+
+    def test_thundering_herd_single_post_admits_exactly_one(self, sim):
+        """One post with five blocked waiters lets exactly one through.
+
+        The posted event wakes every waiter in the same instant; all but one
+        must re-check the count and go back to sleep — the count can never
+        be driven negative by the herd.
+        """
+        sem = Semaphore(sim, 0, "s")
+        through = []
+
+        def waiter(label):
+            def body():
+                yield from sem.wait()
+                through.append((label, sim.now.to_ns()))
+
+            return body
+
+        for i in range(5):
+            sim.spawn(f"w{i}", waiter(f"w{i}"))
+
+        def poster():
+            yield ns(5)
+            sem.post()
+
+        sim.spawn("poster", poster)
+        sim.run()
+        assert len(through) == 1
+        assert through[0][1] == 5.0
+        assert sem.count == 0
+
+    def test_herd_with_multiple_posts_admits_exactly_that_many(self, sim):
+        sem = Semaphore(sim, 0, "s")
+        through = []
+
+        def waiter(label):
+            def body():
+                yield from sem.wait()
+                through.append(label)
+
+            return body
+
+        for i in range(5):
+            sim.spawn(f"w{i}", waiter(f"w{i}"))
+
+        def poster():
+            yield ns(5)
+            sem.post()
+            sem.post()
+            sem.post()
+
+        sim.spawn("poster", poster)
+        sim.run()
+        assert len(through) == 3
+        assert sem.count == 0
+
+
+class TestFifoCapacityRaces:
+    def test_two_blocked_producers_one_slot(self, sim):
+        """A single get wakes both blocked producers; only one may append.
+
+        The loser must re-check ``is_full`` after the race and block again —
+        the FIFO can never exceed its capacity.
+        """
+        fifo = Fifo(sim, capacity=1, name="f")
+        fifo.nb_put("seed")
+        high_water = []
+
+        def producer(item):
+            def body():
+                yield from fifo.put(item)
+                high_water.append(len(fifo._items))
+
+            return body
+
+        sim.spawn("p1", producer("p1"))
+        sim.spawn("p2", producer("p2"))
+        got = []
+
+        def consumer():
+            yield ns(5)
+            got.append((yield from fifo.get()))
+            yield ns(5)
+            got.append((yield from fifo.get()))
+            yield ns(5)
+            got.append((yield from fifo.get()))
+
+        sim.spawn("c", consumer)
+        sim.run()
+        assert got == ["seed", "p1", "p2"]
+        assert max(high_water) <= fifo.capacity
+
+    def test_two_blocked_consumers_one_item(self, sim):
+        """A single put wakes both blocked consumers; only one may pop."""
+        fifo = Fifo(sim, capacity=4, name="f")
+        got = []
+
+        def consumer(label):
+            def body():
+                item = yield from fifo.get()
+                got.append((label, item, sim.now.to_ns()))
+
+            return body
+
+        sim.spawn("c1", consumer("c1"))
+        sim.spawn("c2", consumer("c2"))
+
+        def producer():
+            yield ns(5)
+            yield from fifo.put("x")
+            yield ns(5)
+            yield from fifo.put("y")
+
+        sim.spawn("p", producer)
+        sim.run()
+        assert sorted(g[1] for g in got) == ["x", "y"]
+        assert [g[2] for g in got] == [5.0, 10.0]
+        assert fifo.is_empty

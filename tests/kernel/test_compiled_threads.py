@@ -1,0 +1,260 @@
+"""The compiled-thread (rendezvous) fast path.
+
+Covers the admission proof (which threads compile, and the recorded
+reason when they do not), fast-vs-generic equivalence on channel and bus
+workloads, mid-wait despecialization losslessness, and error propagation
+out of a compiled thread.
+
+The module classes are defined at file scope on purpose: the CFG
+analyzer reads thread bodies with ``inspect.getsource``, which only
+works for code that lives in a real file.
+"""
+
+import pytest
+
+from repro.bus import Bus, Memory
+from repro.kernel import Fifo, Module, Mutex, ProcessError, Simulator, ns
+
+
+class FifoPipeTop(Module):
+    """Producer/consumer pair over a bounded FIFO — both threads block on
+    audited rendezvous primitives plus plain timed waits, so both must
+    pass the admission proof."""
+
+    def __init__(self, name, sim, n=8, capacity=2):
+        super().__init__(name, sim=sim)
+        self.n = n
+        self.fifo = Fifo(self.sim, capacity=capacity, name=f"{name}.fifo")
+        self.consumed = []
+        self.add_thread(self.produce)
+        self.add_thread(self.consume)
+
+    def produce(self):
+        for i in range(self.n):
+            yield from self.fifo.put(i * 3)
+            yield ns(2)
+
+    def consume(self):
+        for _ in range(self.n):
+            item = yield from self.fifo.get()
+            self.consumed.append((item, self.sim.now.to_ns()))
+            yield ns(5)
+
+
+class MutexWorkersTop(Module):
+    """Two workers contending on a mutex (audited rendezvous)."""
+
+    def __init__(self, name, sim, rounds=6):
+        super().__init__(name, sim=sim)
+        self.rounds = rounds
+        self.mutex = Mutex(self.sim, f"{name}.m")
+        self.grants = []
+        self.add_thread(self.worker_a)
+        self.add_thread(self.worker_b)
+
+    def worker_a(self):
+        for _ in range(self.rounds):
+            yield from self.mutex.lock("a")
+            self.grants.append(("a", self.sim.now.to_ns()))
+            yield ns(3)
+            self.mutex.unlock()
+            yield ns(1)
+
+    def worker_b(self):
+        for _ in range(self.rounds):
+            yield from self.mutex.lock("b")
+            self.grants.append(("b", self.sim.now.to_ns()))
+            yield ns(4)
+            self.mutex.unlock()
+            yield ns(1)
+
+
+class PureTimedTop(Module):
+    """A thread with only timed waits: nothing for the fast path to win."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.ticks = 0
+        self.add_thread(self.beat)
+
+    def beat(self):
+        for _ in range(4):
+            yield ns(10)
+            self.ticks += 1
+
+
+class BusPairTop(Module):
+    """Two bus masters contending for one memory over blocking transport."""
+
+    def __init__(self, name, sim, n=16):
+        super().__init__(name, sim=sim)
+        self.n = n
+        self.bus = Bus("bus", parent=self, clock_freq_hz=100e6)
+        self.mem = Memory(
+            "mem", parent=self, base=0, size_words=64, clock_freq_hz=100e6
+        )
+        self.bus.register_slave(self.mem)
+        self.read_back = []
+        self.add_thread(self.writer)
+        self.add_thread(self.reader)
+
+    def writer(self):
+        for i in range(self.n):
+            yield from self.bus.write((i % 64) * 4, i + 1, master="writer")
+
+    def reader(self):
+        for i in range(self.n):
+            data = yield from self.bus.read((i % 64) * 4, 1, master="reader")
+            self.read_back.append(data[0])
+
+
+class FaultyWorkerTop(Module):
+    """A compiled thread that dies after its first rendezvous."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.mutex = Mutex(self.sim, f"{name}.m")
+        self.add_thread(self.worker)
+
+    def worker(self):
+        yield from self.mutex.lock("w")
+        yield ns(5)
+        raise ValueError("boom in compiled thread")
+
+
+def _snapshot(top_cls, *, specialize, **kwargs):
+    sim = Simulator(specialize=specialize)
+    top = top_cls("t", sim, **kwargs)
+    sim.run()
+    assert sim._specialized is specialize
+    if specialize:
+        assert sim.stats.compiled_thread_waits > 0
+    else:
+        assert sim.stats.compiled_thread_waits == 0
+    return sim, top
+
+
+class TestAdmission:
+    def test_channel_threads_admitted(self):
+        sim = Simulator()
+        FifoPipeTop("t", sim)
+        sim.run()
+        plan = sim.schedule_plan
+        assert len(plan.compiled_threads) == 2
+        assert plan.thread_exclusions == []
+        assert sim._specialized
+        assert sim.stats.compiled_thread_waits > 0
+
+    def test_bus_threads_admitted(self):
+        sim = Simulator()
+        BusPairTop("t", sim)
+        sim.run()
+        assert len(sim.schedule_plan.compiled_threads) == 2
+        assert sim.stats.compiled_thread_waits > 0
+
+    def test_pure_timed_thread_excluded_with_reason(self):
+        sim = Simulator()
+        top = PureTimedTop("t", sim)
+        sim.run()
+        plan = sim.schedule_plan
+        assert plan.compiled_threads == []
+        assert len(plan.thread_exclusions) == 1
+        assert "no rendezvous waits" in plan.thread_exclusions[0]
+        assert top.ticks == 4  # excluded thread still ran generically
+
+    def test_exclusion_is_per_thread_not_wholesale(self):
+        """One inadmissible thread must not reject its admissible peers."""
+        sim = Simulator()
+        top = FifoPipeTop("t", sim)
+        PureTimedTop("u", sim)
+        sim.run()
+        plan = sim.schedule_plan
+        assert len(plan.compiled_threads) == 2
+        assert len(plan.thread_exclusions) == 1
+        assert len(top.consumed) == top.n
+
+    def test_specialize_false_compiles_nothing(self):
+        sim, top = _snapshot(FifoPipeTop, specialize=False)
+        assert len(top.consumed) == top.n
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("top_cls", [FifoPipeTop, MutexWorkersTop, BusPairTop])
+    def test_fast_and_generic_runs_match(self, top_cls):
+        fast_sim, fast_top = _snapshot(top_cls, specialize=True)
+        gen_sim, gen_top = _snapshot(top_cls, specialize=False)
+        assert fast_sim.now == gen_sim.now
+        fs, gs = fast_sim.stats, gen_sim.stats
+        assert fs.timed_activations == gs.timed_activations
+        assert fs.process_executions <= gs.process_executions
+        for attr in ("consumed", "grants", "read_back"):
+            if hasattr(fast_top, attr):
+                assert getattr(fast_top, attr) == getattr(gen_top, attr)
+
+    def test_bus_memory_state_matches(self):
+        fast_sim, fast_top = _snapshot(BusPairTop, specialize=True)
+        gen_sim, gen_top = _snapshot(BusPairTop, specialize=False)
+        assert fast_top.mem.peek(0, 16) == gen_top.mem.peek(0, 16)
+        fast_txns = fast_top.bus.monitor.transactions
+        gen_txns = gen_top.bus.monitor.transactions
+        assert [
+            (t.kind, t.master, t.addr, t.granted_at, t.completed_at)
+            for t in fast_txns
+        ] == [
+            (t.kind, t.master, t.addr, t.granted_at, t.completed_at)
+            for t in gen_txns
+        ]
+
+
+class TestMidWaitDespecialization:
+    """A dynamic spawn mid-run reverts compiled threads that are suspended
+    in fast waits; the rewrite must be lossless (identical end state)."""
+
+    def _run_with_spawn_at(self, trigger_ns, *, specialize):
+        sim = Simulator(specialize=specialize)
+        top = FifoPipeTop("t", sim)
+        late = []
+
+        def late_body():
+            late.append(sim.now.femtoseconds)
+            yield ns(1)
+
+        def spawner():
+            yield ns(trigger_ns)
+            sim.spawn("late", late_body)
+
+        sim.spawn("spawner", spawner)
+        sim.run()
+        assert late
+        return sim, top
+
+    @pytest.mark.parametrize(
+        "trigger_ns",
+        [
+            # t=3: both compiled threads are suspended in fast *timed* waits
+            # (producer back-off, consumer hold).  t=9: the producer is
+            # blocked on the full FIFO — a fast *event* wait with the
+            # thread sitting in the event's direct-dispatch slot.
+            3,
+            9,
+        ],
+    )
+    def test_revert_mid_wait_is_lossless(self, trigger_ns):
+        fast_sim, fast_top = self._run_with_spawn_at(trigger_ns, specialize=True)
+        gen_sim, gen_top = self._run_with_spawn_at(trigger_ns, specialize=False)
+        assert not fast_sim._specialized  # reverted wholesale
+        assert any(
+            "dynamic process" in r for r in fast_sim.specialize_fallback_reasons
+        )
+        assert fast_sim.stats.compiled_thread_waits > 0  # fast path was live
+        assert fast_top.consumed == gen_top.consumed
+        assert fast_sim.now == gen_sim.now
+
+
+class TestErrors:
+    def test_compiled_thread_exception_becomes_process_error(self):
+        sim = Simulator()
+        FaultyWorkerTop("t", sim)
+        with pytest.raises(ProcessError, match="boom in compiled thread"):
+            sim.run()
+        assert sim.stats.compiled_thread_waits > 0

@@ -21,7 +21,10 @@ perf trajectory to compare against:
     waiter-list management and delta-queue path.
 ``bus_transaction``
     Full-stack bus writes through arbiter + memory — a macro workload
-    representative of the paper's bus-cycle-accurate models.
+    representative of the paper's bus-cycle-accurate models.  The master
+    thread runs as a compiled wait-state machine (kernel/specialize.py's
+    rendezvous fast path); ``--check`` enforces a specialization floor
+    against the generic scheduler.
 ``method_chain``
     A thread driving a chain of combinational method processes through
     single-writer signals — the interface-method hot path the
@@ -50,6 +53,7 @@ never lost; pass ``--seed-baseline <file>`` to (re)initialize it.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -302,19 +306,51 @@ def run_clocked_pipeline_generic(n: int) -> int:
     return run_clocked_pipeline(n, specialize=False)
 
 
-def run_bus_transactions(n: int) -> int:
-    sim = Simulator()
+class _BusMaster(Module):
+    """One bus master issuing ``rounds`` blocking single-word writes.
+
+    A bound thread method (rather than a closure) so the rendezvous
+    admission pass can resolve ``self.bus`` on the live instance and
+    compile the thread's wait states.
+    """
+
+    def __init__(self, name, sim, bus, rounds):
+        super().__init__(name, sim=sim)
+        self.bus = bus
+        self.rounds = rounds
+        self.add_thread(self.drive)
+
+    def drive(self):
+        for i in range(self.rounds):
+            yield from self.bus.write((i % 64) * 4, i, master=self.full_name)
+
+
+def run_bus_transactions(n: int, specialize: bool = True) -> int:
+    """``n`` transactions split across two contending masters.
+
+    Two masters so the workload exercises both compiled wait kinds: the
+    timed bus/memory cycles and the rendezvous grant waits the arbiter
+    resolves under contention (the direct-dispatch path).
+    """
+    sim = Simulator(specialize=specialize)
     bus = Bus("bus", sim=sim, clock_freq_hz=100e6)
     mem = Memory("mem", sim=sim, base=0, size_words=64)
     bus.register_slave(mem)
-
-    def body():
-        for i in range(n):
-            yield from bus.write(0, i, master="cpu")
-
-    sim.spawn("cpu", body)
+    _BusMaster("cpu0", sim, bus, n // 2)
+    _BusMaster("cpu1", sim, bus, n - n // 2)
     sim.run()
+    if specialize:
+        assert sim._specialized, (
+            f"bus_transaction failed to specialize: {sim.specialize_fallback_reasons}"
+        )
+        assert sim.stats.compiled_thread_waits > 0, (
+            "bus master threads did not run on the compiled fast path"
+        )
     return bus.monitor.transaction_count
+
+
+def run_bus_transactions_generic(n: int) -> int:
+    return run_bus_transactions(n, specialize=False)
 
 
 #: name -> (workload fn, default n, quick n)
@@ -323,7 +359,10 @@ WORKLOADS: Dict[str, tuple] = {
     "ping_pong": (run_event_pingpong, 15_000, 1_500),
     "signal_fanout": (run_signal_fanout, 30_000, 5_000),
     "delta_heavy": (run_delta_heavy, 30_000, 5_000),
-    "bus_transaction": (run_bus_transactions, 4_000, 500),
+    # Same n both modes: large enough to amortize the elaboration-time CFG
+    # analysis, small enough that the monitor's growing transaction list
+    # doesn't crowd the cache and dilute the specialization ratio.
+    "bus_transaction": (run_bus_transactions, 4_000, 4_000),
     "method_chain": (run_method_chain, 48_000, 8_000),
     "clocked_pipeline": (run_clocked_pipeline, 48_000, 8_000),
 }
@@ -338,18 +377,61 @@ WORKLOADS: Dict[str, tuple] = {
 SPECIALIZE_FLOORS: Dict[str, tuple] = {
     "method_chain": (run_method_chain, run_method_chain_generic, 2.0),
     "clocked_pipeline": (run_clocked_pipeline, run_clocked_pipeline_generic, 1.05),
+    # The compiled-thread rendezvous fast path: the master's timed waits
+    # reuse a pooled heap entry and its grant waits resume by direct
+    # dispatch, skipping the WaitHandle arm/disarm machinery.
+    "bus_transaction": (run_bus_transactions, run_bus_transactions_generic, 1.2),
 }
 
 
 def measure_specialization(
     workload: str = "method_chain", quick: bool = False, repeats: int = 3
 ) -> Dict[str, object]:
-    """Generic-vs-specialized comparison on one fast-path workload."""
+    """Generic-vs-specialized comparison on one fast-path workload.
+
+    The two variants are timed *interleaved* (generic, specialized,
+    generic, ...) inside one GC-disabled window, so slow drift in machine
+    load and collector pauses cancel out of the ratio instead of landing
+    on whichever variant ran second.
+    """
+    if repeats < 1:
+        raise ValueError("--repeats must be at least 1")
     fast_fn, generic_fn, _floor = SPECIALIZE_FLOORS[workload]
     _fn, n, quick_n = WORKLOADS[workload]
     size = quick_n if quick else n
-    generic = measure(generic_fn, size, repeats=repeats)
-    specialized = measure(fast_fn, size, repeats=repeats)
+    best_g = best_f = None
+    events_g = events_f = 0
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            events_g = generic_fn(size)
+            eg = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            events_f = fast_fn(size)
+            ef = time.perf_counter() - t0
+            if best_g is None or eg < best_g:
+                best_g = eg
+            if best_f is None or ef < best_f:
+                best_f = ef
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert events_g > 0 and events_f > 0, "workload processed no events"
+    generic = {
+        "n": size,
+        "events": events_g,
+        "seconds": round(best_g, 6),
+        "events_per_sec": round(events_g / best_g, 1),
+    }
+    specialized = {
+        "n": size,
+        "events": events_f,
+        "seconds": round(best_f, 6),
+        "events_per_sec": round(events_f / best_f, 1),
+    }
     return {
         "workload": workload,
         "generic": generic,
@@ -370,17 +452,29 @@ def measure_all_specializations(
 
 
 def measure(fn: Callable[[int], int], n: int, repeats: int = 3) -> Dict[str, float]:
-    """Best-of-``repeats`` wall-clock measurement of one workload."""
+    """Best-of-``repeats`` wall-clock measurement of one workload.
+
+    Runs with the garbage collector off (collected first, restored after)
+    so collector pauses don't smear the timings of allocation-heavy
+    workloads.
+    """
     if repeats < 1:
         raise ValueError("--repeats must be at least 1")
     best = None
     events = 0
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        events = fn(n)
-        elapsed = time.perf_counter() - t0
-        if best is None or elapsed < best:
-            best = elapsed
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            events = fn(n)
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     assert events > 0, "workload processed no events"
     return {
         "n": n,
@@ -516,7 +610,8 @@ def check(results: Dict[str, Dict[str, float]], baseline: Optional[dict]) -> int
         spec = measure_specialization(name, quick=True, repeats=3)
         if spec["speedup"] < floor:
             # Same noise allowance as above: re-measure before failing.
-            spec = measure_specialization(name, quick=True, repeats=6)
+            # Best-of-8 converges the ratio estimate on a noisy runner.
+            spec = measure_specialization(name, quick=True, repeats=8)
         if spec["speedup"] < floor:
             print(f"check: SPECIALIZATION REGRESSION: {name} specialized path "
                   f"is only {spec['speedup']:.2f}x the generic path "
