@@ -32,7 +32,9 @@ def build_netlist():
     """The fixed (split-transaction) variant — this one lints clean.
 
     The deliberately deadlocking architecture of run 1 is flagged
-    statically by `python -m repro lint --builtin deadlock` (rule REP310).
+    statically by `python -m repro lint --builtin deadlock` (rule REP310
+    on the netlist spec, REP601 on the elaborated wait-for graph with
+    --interproc).
     """
     return make_reconfigurable_netlist(
         ("fir", "fft"), tech=VIRTEX2PRO, bus_protocol="split"

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..kernel import Clock, Event, Signal
-from .dataflow import _TIME_FUNCS, _as_signal, _resolve_path
+from .dataflow import _TIME_FUNCS, _UNRESOLVED, _as_signal, _resolve_path
 
 #: A ``self``-rooted attribute path, as in :mod:`repro.analysis.dataflow`.
 Path = Tuple[str, ...]
@@ -89,6 +89,14 @@ class WaitInfo:
     target: Optional[Path] = None
     #: For ``external`` waits: the method name invoked on ``target``.
     method: str = ""
+    #: For composite (``AnyOf``) waits: the member event paths, when every
+    #: member is a plain ``self.<...>`` path.  ``()`` is a resolved empty
+    #: member list (a pure-timeout ``AnyOf``); None means at least one
+    #: member escaped the static analysis.
+    members: Optional[Tuple[Path, ...]] = None
+    #: For composite waits: True when the ``AnyOf`` carries a timeout
+    #: (positional or keyword) that is not literally ``None``.
+    has_timeout: bool = False
 
 
 @dataclass
@@ -336,6 +344,24 @@ def _positive_constant_duration(call: ast.Call) -> bool:
     )
 
 
+def _anyof_members(call: ast.Call) -> Optional[Tuple[Path, ...]]:
+    """Member event paths of an ``AnyOf([...])`` literal, or None.
+
+    Resolvable only when the first argument is a list/tuple literal whose
+    every element is a plain ``self.<...>`` path.  An empty literal is the
+    (resolved) pure-timeout form and returns ``()``.
+    """
+    if not call.args or not isinstance(call.args[0], (ast.List, ast.Tuple)):
+        return None
+    members: List[Path] = []
+    for elt in call.args[0].elts:
+        path = _self_path(elt)
+        if not path:
+            return None
+        members.append(path)
+    return tuple(members)
+
+
 def _classify_wait(value: Optional[ast.AST]) -> WaitInfo:
     """Classify the expression yielded at a wait site."""
     if value is None or (isinstance(value, ast.Constant) and value.value is None):
@@ -352,9 +378,22 @@ def _classify_wait(value: Optional[ast.AST]) -> WaitInfo:
             name = func.attr
         if name in _TIME_FUNCS:
             return WaitInfo("timed", _positive_constant_duration(value))
-        if name == "AnyOf" and any(kw.arg == "timeout" for kw in value.keywords):
-            return WaitInfo("anyof_timeout", False)
-        if name in ("AnyOf", "AllOf"):
+        if name == "AnyOf":
+            timeout = next(
+                (kw.value for kw in value.keywords if kw.arg == "timeout"), None
+            )
+            if timeout is None and len(value.args) >= 2:
+                timeout = value.args[1]
+            has_timeout = timeout is not None and not (
+                isinstance(timeout, ast.Constant) and timeout.value is None
+            )
+            members = _anyof_members(value)
+            if has_timeout:
+                return WaitInfo(
+                    "anyof_timeout", False, members=members, has_timeout=True
+                )
+            return WaitInfo("event", False, members=members)
+        if name == "AllOf":
             return WaitInfo("event", False)
     return WaitInfo("unknown", False)
 
@@ -512,12 +551,12 @@ class _CfgBuilder:
 
     # -- statement emission --------------------------------------------------
     def _emit_block(self, stmts: List[ast.stmt], frontier: List[int]) -> List[int]:
-        pending_guard: Optional[Tuple[str, int]] = None  # (var, wait node)
+        pending_guard: Optional[str] = None  # result var of a timeout-composite wait
         for stmt in stmts:
             guard = pending_guard
             pending_guard = None
             if isinstance(stmt, (ast.If,)) and guard is not None:
-                frontier = self._emit_if(stmt, frontier, guard_var=guard[0])
+                frontier = self._emit_if(stmt, frontier, guard_var=guard)
             elif isinstance(stmt, ast.If):
                 frontier = self._emit_if(stmt, frontier)
             elif isinstance(stmt, ast.Expr) and isinstance(
@@ -532,15 +571,18 @@ class _CfgBuilder:
                 if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
                     target = stmt.targets[0].id
                 frontier = self._emit_wait(stmt, stmt.value, target, frontier)
+                # Timeout-guard refinement: the wait's own classification
+                # (first-class, not read back off the emitted CFG) says
+                # whether `target is TIMEOUT` on the next statement proves
+                # the timer fired.  Single-store targets only: a re-assigned
+                # variable could carry a stale verdict into the guard.
                 if (
                     target is not None
                     and isinstance(stmt.value, ast.Yield)
-                    and frontier
-                    and self.nodes[frontier[0]].wait is not None
-                    and self.nodes[frontier[0]].wait.kind == "anyof_timeout"
+                    and _classify_wait(stmt.value.value).kind == "anyof_timeout"
                     and self._var_stores[-1].get(target, 0) == 1
                 ):
-                    pending_guard = (target, frontier[0])
+                    pending_guard = target
             elif isinstance(stmt, ast.While):
                 frontier = self._emit_while(stmt, frontier)
             elif isinstance(stmt, ast.For):
@@ -1191,7 +1233,9 @@ class RendezvousProfile:
     timed_states: int = 0
 
 
-def _audited_rendezvous(target: object, method: str) -> Optional[str]:
+def _audited_rendezvous(
+    target: object, method: str, path: Optional[Path] = None
+) -> Optional[str]:
     """Is ``target.method`` an audited blocking rendezvous primitive?
 
     Returns None when it is, else the rejection reason.  The registry
@@ -1199,9 +1243,12 @@ def _audited_rendezvous(target: object, method: str) -> Optional[str]:
     notify structure the compiled-thread runtime was validated against
     (every blocking path inside them suspends only on plain timed waits,
     single events with statically known notifiers, or nested audited
-    calls).  Anything else is rejected — soundness does not depend on
-    this list (the compiled runtime is order-preserving and falls back
-    per wait), but admission does, so the exclusion stays diagnosable.
+    calls).  Since PR 10 the registry is only a *seed*: callers fall back
+    to :func:`repro.analysis.interproc.prove_rendezvous_safe`, which
+    proves unlisted primitives automatically from their wait-effect
+    summaries.  Soundness never depended on either (the compiled runtime
+    is order-preserving and falls back per wait); they gate admission, so
+    the exclusion stays diagnosable.
     """
     from ..kernel.channels import Fifo, Mutex, Semaphore
 
@@ -1224,35 +1271,16 @@ def _audited_rendezvous(target: object, method: str) -> Optional[str]:
             return None
         if isinstance(target, Memory) and method in ("read", "write"):
             return None
-    if target is None:
-        return "call target does not resolve on the live owner"
+    if target is None or target is _UNRESOLVED:
+        attempted = (
+            f"self.{'.'.join(path)}.{method}" if path else f"the .{method} call target"
+        )
+        return f"blocking call {attempted} does not resolve on the live owner"
     return f"{type(target).__name__}.{method} is not an audited rendezvous primitive"
 
 
-def thread_rendezvous_profile(process: object) -> RendezvousProfile:
-    """Admission proof for the compiled-thread (rendezvous) fast path.
-
-    Proves that every *reachable* wait state of a thread's wait-state
-    machine blocks only on constructs the compiled runtime serves with its
-    lean protocol: pure timed waits, single events on resolvable
-    ``self.<...>`` paths, or blocking calls into audited rendezvous
-    primitives (FIFO/mutex/semaphore channels, arbiter grants, bus
-    transport) whose notifying site is statically known.  Threads with
-    static sensitivity, composite waits, or unresolvable control flow are
-    rejected with a reason, as are threads with no rendezvous wait at all
-    (nothing for the fast path to win).
-    """
-    if getattr(process, "kind", None) != "thread":
-        return RendezvousProfile(False, "not a thread process")
-    if getattr(process, "static_sensitivity", None):
-        return RendezvousProfile(False, "static sensitivity present")
-    pcf = analyze_process(process)
-    if pcf.unresolved:
-        return RendezvousProfile(False, f"control flow unresolved: {pcf.reason}")
-    machine = pcf.flow.machine
-    owner = pcf.owner
-    # Wait-state reachability: only states a run can actually suspend in
-    # need a proof; waits in dead code are ignored.
+def reachable_wait_states(machine: WaitStateMachine) -> List[WaitState]:
+    """Wait states some run can actually suspend in (dead waits dropped)."""
     succs: Dict[int, List[int]] = {}
     for edge in machine.edges:
         succs.setdefault(edge.src, []).append(edge.dst)
@@ -1263,10 +1291,53 @@ def thread_rendezvous_profile(process: object) -> RendezvousProfile:
             if dst not in seen:
                 seen.add(dst)
                 stack.append(dst)
+    return [
+        s for s in machine.states if s.kind not in ("start", "end") and s.index in seen
+    ]
+
+
+def _composite_members_rejection(
+    owner: object, info: Optional[WaitInfo], lineno: int
+) -> Optional[str]:
+    """Why a composite (AnyOf) wait's members fail to resolve, or None."""
+    members = info.members if info is not None else None
+    if members is None:
+        return f"composite wait (line {lineno})"
+    for member in members:
+        if not isinstance(_resolve_path(owner, member), Event):
+            return (
+                f"composite member self.{'.'.join(member)} does not resolve "
+                f"to an event (line {lineno})"
+            )
+    return None
+
+
+def thread_rendezvous_profile(process: object) -> RendezvousProfile:
+    """Admission proof for the compiled-thread (rendezvous) fast path.
+
+    Proves that every *reachable* wait state of a thread's wait-state
+    machine blocks only on constructs the compiled runtime serves with its
+    lean protocol: pure timed waits, single events on resolvable
+    ``self.<...>`` paths, ``AnyOf`` composites (with or without timeout)
+    whose members are resolvable events, or blocking calls into rendezvous
+    primitives — either seeded by the :func:`_audited_rendezvous` registry
+    or proven automatically from their transitive wait-effect summaries
+    (:func:`repro.analysis.interproc.prove_rendezvous_safe`).  Threads
+    with static sensitivity or unresolvable control flow are rejected
+    with a reason, as are threads with no rendezvous wait at all (nothing
+    for the fast path to win).
+    """
+    if getattr(process, "kind", None) != "thread":
+        return RendezvousProfile(False, "not a thread process")
+    if getattr(process, "static_sensitivity", None):
+        return RendezvousProfile(False, "static sensitivity present")
+    pcf = analyze_process(process)
+    if pcf.unresolved:
+        return RendezvousProfile(False, f"control flow unresolved: {pcf.reason}")
+    machine = pcf.flow.machine
+    owner = pcf.owner
     rendezvous = timed = 0
-    for state in machine.states:
-        if state.kind in ("start", "end") or state.index not in seen:
-            continue
+    for state in reachable_wait_states(machine):
         if state.kind == "timed":
             timed += 1
             continue
@@ -1274,9 +1345,11 @@ def thread_rendezvous_profile(process: object) -> RendezvousProfile:
         target = info.target if info is not None else None
         if state.kind == "event":
             if target is None:
-                return RendezvousProfile(
-                    False, f"composite wait (line {state.lineno})"
-                )
+                rejection = _composite_members_rejection(owner, info, state.lineno)
+                if rejection is not None:
+                    return RendezvousProfile(False, rejection)
+                rendezvous += 1
+                continue
             resolved = _resolve_path(owner, target)
             if not isinstance(resolved, Event):
                 return RendezvousProfile(
@@ -1286,9 +1359,25 @@ def thread_rendezvous_profile(process: object) -> RendezvousProfile:
                 )
             rendezvous += 1
             continue
+        if state.kind == "anyof_timeout":
+            rejection = _composite_members_rejection(owner, info, state.lineno)
+            if rejection is not None:
+                return RendezvousProfile(False, rejection)
+            rendezvous += 1
+            continue
         if state.kind == "external":
             resolved = _resolve_path(owner, target) if target else None
-            rejection = _audited_rendezvous(resolved, info.method if info else "")
+            method = info.method if info else ""
+            rejection = _audited_rendezvous(resolved, method, path=target)
+            if rejection is not None and not (
+                resolved is None or resolved is _UNRESOLVED
+            ):
+                # Not in the seed registry: try to prove the primitive
+                # rendezvous-safe from its transitive wait-effect summary.
+                from .interproc import prove_rendezvous_safe
+
+                proof = prove_rendezvous_safe(resolved, method)
+                rejection = None if proof is None else proof
             if rejection is not None:
                 return RendezvousProfile(
                     False, f"{rejection} (line {state.lineno})"

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 
 from ..bus import Bus
 from ..kernel import Simulator
-from .lint import DEADLOCK_RULE_CODE
+from .lint import DEADLOCK_RULE_CODE, STATIC_DEADLOCK_RULE_CODE
 
 
 @dataclass
@@ -38,10 +38,14 @@ class DeadlockReport:
     deadlocked: bool
     blocked: List[BlockedProcess] = field(default_factory=list)
     chains: List[str] = field(default_factory=list)
-    #: The static lint rule that flags this failure mode pre-simulation;
-    #: rendered in the report so a post-mortem points back at the check
+    #: The static lint rules that flag this failure mode pre-simulation;
+    #: rendered in the report so a post-mortem points back at the checks
     #: that would have caught the architecture without running anything.
+    #: ``static_rule`` is the netlist-spec precondition; ``interproc_rule``
+    #: is its interprocedural twin, proving the wait-for cycle on the live
+    #: elaborated design (``lint --interproc``).
     static_rule: str = DEADLOCK_RULE_CODE
+    interproc_rule: str = STATIC_DEADLOCK_RULE_CODE
     #: True when the run was cut short by ``Simulator.run(max_wall_s=...)``
     #: rather than ending by event starvation; ``wall_s`` is the budget
     #: that expired.
@@ -60,9 +64,9 @@ class DeadlockReport:
             for chain in self.chains:
                 lines.append(f"  wait-for: {chain}")
             lines.append(
-                f"  note: static lint rule {self.static_rule} flags the "
-                "bus-deadlock architecture before simulation "
-                "(python -m repro lint)"
+                f"  note: static lint rules {self.static_rule} and "
+                f"{self.interproc_rule} flag the bus-deadlock architecture "
+                "before simulation (python -m repro lint --interproc)"
             )
             return "\n".join(lines)
         if not self.deadlocked:
@@ -73,8 +77,9 @@ class DeadlockReport:
         for chain in self.chains:
             lines.append(f"  wait-for: {chain}")
         lines.append(
-            f"  note: static lint rule {self.static_rule} flags this "
-            "architecture before simulation (python -m repro lint)"
+            f"  note: static lint rules {self.static_rule} and "
+            f"{self.interproc_rule} flag this architecture before "
+            "simulation (python -m repro lint --interproc)"
         )
         return "\n".join(lines)
 

@@ -51,6 +51,7 @@ from .cfg import (
     write_coverage,
 )
 from .dataflow import DesignDataflow
+from .interproc import ACQUIRE_COUNTERPARTS, LockTrace, acquire_sites, lock_order_trace, release_closure
 
 #: The code of the limitation-3 (blocking-bus deadlock) precondition rule.
 #: The runtime deadlock diagnosis (:mod:`repro.analysis.deadlock`) cross-
@@ -58,25 +59,37 @@ from .dataflow import DesignDataflow
 #: that would have caught the architecture before any simulation ran.
 DEADLOCK_RULE_CODE = "REP310"
 
+#: The code of the interprocedural wait-for-cycle rule (REP601): the
+#: *live-design* sharpening of :data:`DEADLOCK_RULE_CODE`, proven on the
+#: elaborated hierarchy (binding chains, live bus protocol, registered
+#: slaves) rather than on netlist specs.  The runtime post-mortem
+#: cross-references both.
+STATIC_DEADLOCK_RULE_CODE = "REP601"
+
 #: Diagnostic severities, most severe first.
 SEVERITIES = ("error", "warning", "info")
 
 #: Rule layers, in the order the engine runs them.  ``meta`` rules are
 #: emitted by the engine itself (elaboration/rule failures), not checked.
-#: The ``dataflow`` layer (REP4xx, process-body analysis) and the ``cfg``
-#: layer (REP5xx, control-flow analysis) are opt-in: :func:`run_lint` only
-#: runs them with ``dataflow=True`` / ``cfg=True``.
-LAYERS = ("netlist", "transform", "design", "drcf", "dataflow", "cfg", "meta")
+#: The ``dataflow`` layer (REP4xx, process-body analysis), the ``cfg``
+#: layer (REP5xx, control-flow analysis) and the ``interproc`` layer
+#: (REP6xx, interprocedural wait-effect analysis) are opt-in:
+#: :func:`run_lint` only runs them with ``dataflow=True`` / ``cfg=True`` /
+#: ``interproc=True``.
+LAYERS = (
+    "netlist", "transform", "design", "drcf", "dataflow", "cfg", "interproc", "meta"
+)
 
 #: How registry layers appear on diagnostics (the ``layer`` field in
 #: ``--json`` output): the pre-elaboration/design/DRCF/meta layers are all
 #: part of the always-on core; the opt-in analysis layers keep their name
 #: so CI diffs can attribute regressions to the layer that found them.
-_DISPLAY_LAYERS = {"dataflow": "dataflow", "cfg": "cfg"}
+_DISPLAY_LAYERS = {"dataflow": "dataflow", "cfg": "cfg", "interproc": "interproc"}
 
 
 def display_layer(layer: str) -> str:
-    """The diagnostic-facing layer name (``core``/``dataflow``/``cfg``)."""
+    """The diagnostic-facing layer name (``core``/``dataflow``/``cfg``/
+    ``interproc``)."""
     return _DISPLAY_LAYERS.get(layer, "core")
 
 
@@ -236,6 +249,7 @@ class LintContext:
     config_memory: Optional[str] = None
     _dataflow: Optional[DesignDataflow] = field(default=None, repr=False)
     _cfg: Optional[List[ProcessControlFlow]] = field(default=None, repr=False)
+    _lock_traces: Optional[List[LockTrace]] = field(default=None, repr=False)
 
     def dataflow_analysis(self) -> DesignDataflow:
         """The process-body dataflow analysis of the elaborated design.
@@ -267,6 +281,26 @@ class LintContext:
             flows.sort(key=lambda pcf: pcf.name)
             self._cfg = flows
         return self._cfg
+
+    def lock_traces(self) -> List[LockTrace]:
+        """Lock-order traces of every thread process, name-sorted.
+
+        Built on first use and cached; REP602 and REP603 share one
+        source-order walk per thread body (unresolved traces carry a
+        reason, never raise).
+        """
+        if self._lock_traces is None:
+            if self.top is None:
+                raise ValueError("no elaborated design to analyze")
+            traces = [
+                lock_order_trace(p)
+                for module in (self.top, *self.top.descendants())
+                for p in processes_of(module)
+                if getattr(p, "kind", None) == "thread"
+            ]
+            traces.sort(key=lambda trace: trace.name)
+            self._lock_traces = traces
+        return self._lock_traces
 
 
 # --------------------------------------------------------------------------
@@ -339,6 +373,7 @@ def run_lint(
     elaborate: bool = True,
     dataflow: bool = False,
     cfg: bool = False,
+    interproc: bool = False,
     select: Union[str, Iterable[str], None] = None,
     ignore: Union[str, Iterable[str], None] = None,
 ) -> LintReport:
@@ -367,6 +402,12 @@ def run_lint(
         Set True to also run the control-flow rules (REP5xx); they build a
         CFG and wait-state machine per process body (on top of the
         dataflow analysis, which is built as needed), so they are opt-in.
+    interproc:
+        Set True to also run the interprocedural wait-effect rules
+        (REP6xx): the static wait-for/lock-order analysis over callee
+        wait-effect summaries (:mod:`repro.analysis.interproc`).  They
+        walk thread bodies *and* the methods those bodies block on, so
+        they are opt-in.
     select, ignore:
         Code prefixes (comma-separated string or iterable) enabling or
         suppressing rules; ``ignore`` wins over ``select``.
@@ -435,6 +476,12 @@ def run_lint(
                     )
             else:
                 _run_layer("cfg", ctx, select_list, ignore_list, diagnostics)
+        if interproc:
+            # Each REP6xx rule builds what it needs lazily (lock traces,
+            # wait-effect summaries) and degrades to silence on unresolved
+            # bodies; a genuinely crashing rule is caught per-rule by
+            # _run_layer and reported as REP001.
+            _run_layer("interproc", ctx, select_list, ignore_list, diagnostics)
     diagnostics.sort(key=lambda d: (d.code, d.location, d.message))
     return LintReport(diagnostics)
 
@@ -1469,3 +1516,278 @@ def _check_entry_write_race(ctx: LintContext) -> Iterator[CheckResult]:
                     "stagger the writers with a wait, or give the signal a "
                     "single driver",
                 )
+
+
+# --------------------------------------------------------------------------
+# Interproc-layer rules (wait-effect analysis; opt-in via run_lint(interproc=True))
+# --------------------------------------------------------------------------
+
+def _wait_for_graph(top: Module):
+    """The static wait-for graph of the elaborated design.
+
+    Nodes are live components (keyed by id); an edge ``a -> b`` means "a
+    blocked call in *a* cannot complete until *b* returns":
+
+    * ``bus -> slave`` for every slave of a *blocking* bus (the transfer
+      holds the bus until the slave's interface generator finishes);
+    * ``drcf -> bus`` when a fabric fetches configuration bitstreams over
+      a bus reachable from its master port (the context switch blocks
+      mid-slave-call until the fetch completes);
+    * ``bridge -> downstream bus`` for a :class:`~repro.bus.BusBridge`
+      (forwarding blocks the upstream slave call on downstream
+      arbitration).
+
+    Returns ``(edges, objects)``: successor ids per node id, and the live
+    object behind each id.
+    """
+    from ..bus.bridge import BusBridge
+
+    edges: Dict[int, List[int]] = {}
+    objects: Dict[int, object] = {}
+
+    def add(src: object, dst: object) -> None:
+        objects[id(src)] = src
+        objects[id(dst)] = dst
+        edges.setdefault(id(src), []).append(id(dst))
+
+    for module in _modules_of(top):
+        if isinstance(module, Bus) and module.protocol == "blocking":
+            for slave in module.slaves:
+                add(module, slave)
+        if isinstance(module, BusBridge):
+            _, downstream = module.dn_port.binding_chain()
+            if downstream is not None:
+                add(module, downstream)
+    for drcf in _drcfs_of(top):
+        if not getattr(type(drcf), "FETCHES_CONFIG_OVER_BUS", True):
+            continue
+        store = _store_of(drcf)
+        if isinstance(store, Bus):
+            add(drcf, store)
+    return edges, objects
+
+
+def _find_cycle(edges: Dict[int, List[int]], start: int) -> Optional[List[int]]:
+    """A path ``start -> ... -> start`` through ``edges``, or None."""
+    stack: List[Tuple[int, List[int]]] = [(start, [start])]
+    seen: set = set()
+    while stack:
+        node, path = stack.pop()
+        for succ in edges.get(node, ()):
+            if succ == start:
+                return path + [start]
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, path + [succ]))
+    return None
+
+
+@rule(
+    STATIC_DEADLOCK_RULE_CODE,
+    layer="interproc",
+    summary="wait-for cycle: configuration fetched over the blocking bus being served",
+    example=(
+        "netlist = make_reconfigurable_netlist(\n"
+        '    ("fir", "xtea"), bus_protocol="blocking"\n'
+        ")[0]\n"
+        "# drcf1 serves slave calls on `bus` AND fetches its bitstreams\n"
+        "# over `bus`: the first call that triggers a context switch\n"
+        "# deadlocks (bus -> drcf1 -> bus in the wait-for graph)"
+    ),
+)
+def _check_static_wait_for_cycle(ctx: LintContext) -> Iterator[CheckResult]:
+    """The paper's Section 5.4 limitation-3 deadlock, proven on the *live*
+    elaborated design: a cycle in the static wait-for graph (blocking bus
+    -> slave it holds for -> bus it must master) means the first context
+    switch triggered from a slave call can never complete.  This sharpens
+    the netlist-level REP310 precondition — binding chains, the live bus
+    protocol and the registered slave set are checked, not spec kwargs —
+    and is the static twin of the runtime post-mortem
+    (:func:`repro.analysis.deadlock.diagnose`), which cross-references
+    this code in its reports."""
+    edges, objects = _wait_for_graph(ctx.top)
+    for drcf in _drcfs_of(ctx.top):
+        cycle = _find_cycle(edges, id(drcf))
+        if cycle is None:
+            continue
+        chain = " -> ".join(
+            getattr(objects[node], "full_name", type(objects[node]).__name__)
+            for node in cycle
+        )
+        yield (
+            drcf.full_name,
+            f"static wait-for cycle: {chain}; a slave call that triggers a "
+            "context switch blocks the bus its own configuration fetch "
+            "needs, so the system deadlocks (paper Section 5.4, "
+            "limitation 3; runtime twin: REP310 / "
+            "analysis.deadlock.diagnose)",
+            'use protocol="split" on the bus, or fetch bitstreams over a '
+            "dedicated configuration bus (dedicated_config_bus)",
+        )
+
+
+@rule(
+    "REP602",
+    layer="interproc",
+    severity="warning",
+    summary="lock-order inversion between threads",
+    example=(
+        "def worker_a(self):\n"
+        "    yield from self.m1.lock('a')\n"
+        "    yield from self.m2.lock('a')  # holds m1, takes m2\n"
+        "    ...\n"
+        "def worker_b(self):\n"
+        "    yield from self.m2.lock('b')\n"
+        "    yield from self.m1.lock('b')  # holds m2, takes m1: inversion"
+    ),
+)
+def _check_lock_order_inversion(ctx: LintContext) -> Iterator[CheckResult]:
+    """Two threads that acquire the same two mutexes in opposite orders can
+    interleave into a hold-and-wait cycle (A holds m1 wanting m2, B holds
+    m2 wanting m1) that no notify ever breaks.  The lock traces are
+    source-order approximations, so this is a warning; traces with
+    unresolvable lock targets stay silent."""
+    holders: Dict[Tuple[int, int], Tuple[str, int, object, object]] = {}
+    for trace in ctx.lock_traces():
+        if trace.unresolved is not None:
+            continue
+        for acq in trace.acquisitions:
+            for held in acq.held:
+                if held is acq.mutex:
+                    continue
+                holders.setdefault(
+                    (id(held), id(acq.mutex)),
+                    (trace.name, acq.lineno, held, acq.mutex),
+                )
+    for (held_id, taken_id), (name, lineno, held, taken) in sorted(
+        holders.items(), key=lambda kv: kv[1][0]
+    ):
+        if held_id >= taken_id:
+            continue  # report each inverted pair once
+        reverse = holders.get((taken_id, held_id))
+        if reverse is None:
+            continue
+        other_name, other_lineno, _, _ = reverse
+        yield (
+            name,
+            f"acquires mutex {getattr(taken, 'name', '?')!r} while holding "
+            f"{getattr(held, 'name', '?')!r} (line {lineno}), but thread "
+            f"{other_name!r} acquires them in the opposite order (line "
+            f"{other_lineno}); the interleaving can hold-and-wait deadlock",
+            "acquire shared mutexes in one global order everywhere",
+        )
+
+
+@rule(
+    "REP603",
+    layer="interproc",
+    severity="warning",
+    summary="blocking bus transport issued while holding a mutex on the config path",
+    example=(
+        "def task(self):\n"
+        "    yield from self.m.lock('task')\n"
+        "    # blocking transport on the bus DRCF bitstream fetches use:\n"
+        "    yield from self.bus.write(addr, data)\n"
+        "    self.m.unlock()"
+    ),
+)
+def _check_blocking_call_while_locked(ctx: LintContext) -> Iterator[CheckResult]:
+    """A blocking bus call made with a mutex held extends the lock's hold
+    time by arbitration plus the slave's entire latency — and when the bus
+    carries a DRCF's configuration traffic, a context switch triggered by
+    the very call serializes the whole reconfiguration behind the lock.
+    Every other acquirer then transitively waits on bus traffic it cannot
+    see, the hold-and-wait half of the Section 5.4 deadlock."""
+    config_path_ids: set = set()
+    for drcf in _drcfs_of(ctx.top):
+        if not getattr(type(drcf), "FETCHES_CONFIG_OVER_BUS", True):
+            continue
+        store = _store_of(drcf)
+        if store is None:
+            continue
+        config_path_ids.add(id(store))
+        if isinstance(store, Bus):
+            config_path_ids.update(id(s) for s in store.slaves)
+    if not config_path_ids:
+        return
+    for trace in ctx.lock_traces():
+        if trace.unresolved is not None:
+            continue
+        for call in trace.bus_calls_while_held:
+            if id(call.target) not in config_path_ids:
+                continue
+            held = ", ".join(
+                repr(getattr(m, "name", "?")) for m in call.held
+            )
+            target_name = getattr(
+                call.target, "full_name", type(call.target).__name__
+            )
+            yield (
+                trace.name,
+                f"blocking {type(call.target).__name__.lower()} call "
+                f"self.{'.'.join(call.path)}.{call.method} (line "
+                f"{call.lineno}) is issued while holding mutex(es) {held}, "
+                f"and {target_name} carries DRCF configuration traffic: a "
+                "context switch triggered by this call serializes the "
+                "reconfiguration behind the lock",
+                "release the mutex before blocking transport, or move "
+                "configuration traffic off this bus",
+            )
+
+
+@rule(
+    "REP604",
+    layer="interproc",
+    severity="warning",
+    summary="blocking acquire whose releasing counterpart never appears",
+    example=(
+        "def worker(self):\n"
+        "    yield from self.sem.wait()   # no process ever calls\n"
+        "    ...                          # self.sem.post(): the wait\n"
+        "                                 # can never complete"
+    ),
+)
+def _check_release_free_acquire(ctx: LintContext) -> Iterator[CheckResult]:
+    """A thread parking in ``Mutex.lock`` / ``Semaphore.wait`` can only
+    resume when some reachable code calls the releasing counterpart
+    (``unlock`` / ``post``) on the *same live object*.  The release
+    closure follows ``self`` helpers and resolvable foreign calls
+    transitively (a post buried inside a channel method still counts);
+    if any thread body or closure is unresolved the rule stays silent —
+    a release could hide anywhere it cannot see."""
+    processes = [
+        p for module in _modules_of(ctx.top) for p in processes_of(module)
+    ]
+    sites = []
+    for process in processes:
+        if getattr(process, "kind", None) != "thread":
+            continue
+        found, unresolved = acquire_sites(process)
+        if unresolved is not None:
+            return  # a blocking call escaped the analysis: stay silent
+        sites.extend(found)
+    if not sites:
+        return
+    released: set = set()
+    for process in processes:
+        fn = getattr(process, "fn", None)
+        owner = getattr(fn, "__self__", None)
+        if fn is None or owner is None:
+            return
+        ids, complete = release_closure(owner, fn)
+        if not complete:
+            return
+        released |= ids
+    for site in sites:
+        if id(site.target) in released:
+            continue
+        counterpart = ACQUIRE_COUNTERPARTS[(type(site.target).__name__, site.method)]
+        yield (
+            site.process_name,
+            f"blocks in self.{'.'.join(site.path)}.{site.method}() (line "
+            f"{site.lineno}), but no process in the design ever calls "
+            f".{counterpart}() on that {type(site.target).__name__.lower()}; "
+            "the acquire can never complete",
+            f"call .{counterpart}() from the releasing side, or drop the "
+            "acquire",
+        )

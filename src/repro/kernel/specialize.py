@@ -61,6 +61,7 @@ from .process import (
     _TERMINATED,
     _WAITING,
     TIMEOUT,
+    AnyOf,
     ProcessError,
     ThreadProcess,
 )
@@ -194,14 +195,19 @@ class _CompiledThread(ThreadProcess):
     * a single-event wait arms the event's direct-dispatch slot
       (``Event._direct``) when no dynamic waiter precedes it, so the
       notifying site resumes the thread straight from ``_trigger`` with
-      no waiter-dict traffic.
+      no waiter-dict traffic;
+    * an ``AnyOf`` composite (with or without timeout) arms the generic
+      ``WaitHandle`` exactly as :meth:`ThreadProcess._suspend_on` would —
+      byte-identical arming, skipping only the dispatch — so
+      ``Clock``-style pause/timeout threads stay admissible instead of
+      forcing a per-wait fallback.
 
     Order preservation is the correctness argument: both fast waits make
     the thread runnable at the same queue positions (same heap ordering,
     same resume point between the static and dynamic scans) the generic
     protocol would have used, so observable traces are byte-identical by
-    construction.  Anything the runtime does not recognise — a composite
-    ``AnyOf``/``AllOf``, an event that already has dynamic waiters, a
+    construction.  Anything the runtime does not recognise — an ``AllOf``
+    composite, an event that already has dynamic waiters, a
     static wait — falls back to :meth:`ThreadProcess._suspend_on` for
     that wait only; the admission proof
     (:func:`repro.analysis.cfg.thread_rendezvous_profile`) exists to keep
@@ -272,6 +278,23 @@ class _CompiledThread(ThreadProcess):
                 return
             # A dynamic waiter registered first: the direct slot would
             # jump the queue, so take the generic protocol for this wait.
+        elif cls is AnyOf:
+            self.sim.stats.compiled_thread_waits += 1
+            self.state = _WAITING
+            handle = self._wait_handle
+            handle.active = True
+            handle.is_all = False
+            # arm_events registers at the back of each event's dynamic
+            # waiters and arm_timeout replaces the pooled fast-timed
+            # action (which is always off-heap here: a fast timed wait
+            # only ends by firing) — both identical to _suspend_on's
+            # arming, so wake-up order is untouched.
+            handle.arm_events(spec.events)
+            if spec.timeout is not None:
+                handle.arm_timeout(spec.timeout)
+            self._wait_spec = spec
+            self._handle = handle
+            return
         self._suspend_on(spec)
 
     def _fast_timed_resume(self) -> None:

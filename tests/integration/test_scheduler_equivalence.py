@@ -31,6 +31,7 @@ from repro.kernel import Clock, Fifo, Module, Port, Simulator, ns
 from repro.kernel.signal import Signal, signals_of
 from repro.kernel.tracing import VcdTracer
 from repro.tech import VIRTEX2PRO
+from tests.kernel.test_compiled_threads import ClockAnyOfTop, IrqTop, UserChannelTop
 from tests.kernel.test_specialize import ChainTop, DiamondTop, EdgeTapsTop
 
 ACCELS = ("fir", "xtea")
@@ -282,6 +283,49 @@ class TestBlockingTransportNetlist:
         expected = sum(i * 7 + 1 for i in range(tops[True].n))
         assert tops[True].checksum.read() == expected
         assert tops[False].checksum.read() == expected
+
+
+class TestProvedRendezvousDesigns:
+    """Threads the audit registry alone cannot admit — a user-defined
+    channel class and ``InterruptController`` register access — compile
+    through the interprocedural rendezvous proof, and the observable
+    trace must stay byte-identical to the generic scheduler's."""
+
+    @pytest.mark.parametrize("top_cls", [UserChannelTop, IrqTop])
+    def test_byte_identical_traces(self, top_cls):
+        results = {}
+        for specialize in (True, False):
+            sim = Simulator(specialize=specialize)
+            top_cls("t", sim)
+            result = _observe(sim)
+            sim.run()
+            assert sim._specialized is specialize
+            if specialize:
+                assert len(sim.schedule_plan.compiled_threads) == 2
+                assert sim.schedule_plan.thread_exclusions == []
+                assert sim.stats.compiled_thread_waits > 0
+            results[specialize] = result()
+        # Thread-written signals never specialize, so the win is in
+        # compiled_thread_waits (asserted above), not commit counts.
+        _assert_equivalent(results[True], results[False], expect_fast_path=False)
+
+    def test_clock_anyof_byte_identical_traces(self):
+        """A Clock-driven design: the toggle thread's AnyOf(pause, timeout)
+        composite is served by the compiled runtime, on a bounded run."""
+        results = {}
+        for specialize in (True, False):
+            sim = Simulator(specialize=specialize)
+            ClockAnyOfTop("t", sim)
+            result = _observe(sim)
+            sim.run(until=ns(200))
+            assert sim._specialized is specialize
+            if specialize:
+                assert [t.name for t in sim.schedule_plan.compiled_threads] == [
+                    "t.clk.toggle"
+                ]
+                assert sim.stats.compiled_thread_waits > 0
+            results[specialize] = result()
+        _assert_equivalent(results[True], results[False], expect_fast_path=False)
 
 
 class TestVcdEquivalence:

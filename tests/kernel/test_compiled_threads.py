@@ -12,8 +12,19 @@ works for code that lives in a real file.
 
 import pytest
 
-from repro.bus import Bus, Memory
-from repro.kernel import Fifo, Module, Mutex, ProcessError, Simulator, ns
+from repro.bus import Bus, InterruptController, Memory
+from repro.kernel import (
+    AnyOf,
+    Clock,
+    Event,
+    Fifo,
+    Module,
+    Mutex,
+    ProcessError,
+    Signal,
+    Simulator,
+    ns,
+)
 
 
 class FifoPipeTop(Module):
@@ -108,6 +119,110 @@ class BusPairTop(Module):
             self.read_back.append(data[0])
 
 
+class UserChannel:
+    """A user-defined rendezvous channel deliberately NOT in the audit
+    registry: admission must come from the interprocedural proof."""
+
+    def __init__(self, sim, name="chan"):
+        self.sim = sim
+        self._full = Event(sim, f"{name}.full")
+        self._empty = Event(sim, f"{name}.empty")
+        self._item = None
+        self._has = False
+
+    def send(self, item):
+        while self._has:
+            yield self._empty
+        self._item = item
+        self._has = True
+        self._full.notify_delta()
+
+    def recv(self):
+        while not self._has:
+            yield self._full
+        item = self._item
+        self._has = False
+        self._empty.notify_delta()
+        return item
+
+
+class UserChannelTop(Module):
+    """Producer/consumer over :class:`UserChannel` — blocking calls into a
+    class the registry has never heard of."""
+
+    def __init__(self, name, sim, n=6):
+        super().__init__(name, sim=sim)
+        self.n = n
+        self.chan = UserChannel(sim, f"{name}.c")
+        self.received = []
+        self.total = Signal(sim, 0, name=f"{name}.total")
+        self.add_thread(self.producer)
+        self.add_thread(self.consumer)
+
+    def producer(self):
+        for i in range(self.n):
+            yield ns(3)
+            yield from self.chan.send(i * 11)
+
+    def consumer(self):
+        total = 0
+        for _ in range(self.n):
+            item = yield from self.chan.recv()
+            self.received.append((item, self.sim.now.to_ns()))
+            total += item
+            self.total.write(total)
+
+
+class IrqTop(Module):
+    """Interrupt-driven handshake: the handler blocks in
+    ``InterruptController.read/write`` (timed-only register access, proven
+    interprocedurally) and on controller-owned events."""
+
+    def __init__(self, name, sim, rounds=4):
+        super().__init__(name, sim=sim)
+        self.rounds = rounds
+        self.irq = InterruptController("irq", parent=self, base=0x0)
+        self.irq.register_source("dev", 0)
+        self.ack = Event(sim, f"{name}.ack")
+        self.count = Signal(sim, 0, name=f"{name}.count")
+        self.handled = []
+        self.add_thread(self.driver)
+        self.add_thread(self.handler)
+
+    def driver(self):
+        for _ in range(self.rounds):
+            yield ns(10)
+            self.irq.raise_irq("dev")
+            yield self.ack
+
+    def handler(self):
+        for i in range(self.rounds):
+            yield self.irq.any_irq
+            pending = yield from self.irq.read(0x0, 1)
+            yield from self.irq.write(0x8, pending[0])
+            self.handled.append((pending[0], self.sim.now.to_ns()))
+            self.count.write(i + 1)
+            self.ack.notify()
+
+
+class ClockAnyOfTop(Module):
+    """A free-running :class:`Clock`: its toggle thread waits on an
+    ``AnyOf(pause, timeout)`` composite each half-period, which the
+    compiled runtime must serve directly."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim=sim)
+        self.clk = Clock("clk", ns(10), parent=self)
+        self.edges = []
+        self.add_method(
+            self.on_edge, sensitivity=[self.clk.signal.value_changed],
+            initialize=False,
+        )
+
+    def on_edge(self):
+        self.edges.append((self.clk.signal.read(), self.sim.now.to_ns()))
+
+
 class FaultyWorkerTop(Module):
     """A compiled thread that dies after its first rendezvous."""
 
@@ -177,9 +292,47 @@ class TestAdmission:
         sim, top = _snapshot(FifoPipeTop, specialize=False)
         assert len(top.consumed) == top.n
 
+    def test_user_channel_threads_proved_automatically(self):
+        """A user-defined channel class is not in the audit registry; the
+        interprocedural proof must admit its callers anyway."""
+        sim = Simulator()
+        top = UserChannelTop("t", sim)
+        sim.run()
+        plan = sim.schedule_plan
+        assert len(plan.compiled_threads) == 2
+        assert plan.thread_exclusions == []
+        assert sim._specialized
+        assert sim.stats.compiled_thread_waits > 0
+        assert len(top.received) == top.n
+
+    def test_irq_controller_threads_proved_automatically(self):
+        sim = Simulator()
+        top = IrqTop("t", sim)
+        sim.run()
+        plan = sim.schedule_plan
+        assert len(plan.compiled_threads) == 2
+        assert plan.thread_exclusions == []
+        assert sim.stats.compiled_thread_waits > 0
+        assert len(top.handled) == top.rounds
+
+    def test_clock_anyof_thread_admitted(self):
+        """The Clock's toggle thread waits on AnyOf(pause, timeout) each
+        half-period; composite waits are served by the compiled runtime
+        instead of excluding the thread."""
+        sim = Simulator()
+        ClockAnyOfTop("t", sim)
+        sim.run(until=ns(100))
+        plan = sim.schedule_plan
+        assert [t.name for t in plan.compiled_threads] == ["t.clk.toggle"]
+        assert sim._specialized
+        assert sim.stats.compiled_thread_waits > 0
+
 
 class TestEquivalence:
-    @pytest.mark.parametrize("top_cls", [FifoPipeTop, MutexWorkersTop, BusPairTop])
+    @pytest.mark.parametrize(
+        "top_cls",
+        [FifoPipeTop, MutexWorkersTop, BusPairTop, UserChannelTop, IrqTop],
+    )
     def test_fast_and_generic_runs_match(self, top_cls):
         fast_sim, fast_top = _snapshot(top_cls, specialize=True)
         gen_sim, gen_top = _snapshot(top_cls, specialize=False)
@@ -187,9 +340,23 @@ class TestEquivalence:
         fs, gs = fast_sim.stats, gen_sim.stats
         assert fs.timed_activations == gs.timed_activations
         assert fs.process_executions <= gs.process_executions
-        for attr in ("consumed", "grants", "read_back"):
+        for attr in ("consumed", "grants", "read_back", "received", "handled"):
             if hasattr(fast_top, attr):
                 assert getattr(fast_top, attr) == getattr(gen_top, attr)
+
+    def test_clock_anyof_fast_and_generic_runs_match(self):
+        runs = {}
+        for specialize in (True, False):
+            sim = Simulator(specialize=specialize)
+            top = ClockAnyOfTop("t", sim)
+            sim.run(until=ns(100))
+            assert sim._specialized is specialize
+            runs[specialize] = (sim, top)
+        fast_sim, fast_top = runs[True]
+        gen_sim, gen_top = runs[False]
+        assert fast_sim.stats.compiled_thread_waits > 0
+        assert fast_top.edges == gen_top.edges
+        assert len(fast_top.edges) >= 18  # ~2 edges per 10 ns period
 
     def test_bus_memory_state_matches(self):
         fast_sim, fast_top = _snapshot(BusPairTop, specialize=True)

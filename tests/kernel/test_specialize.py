@@ -390,7 +390,13 @@ class TestExclusionRegressions:
     def test_degenerate_clock_excluded(self):
         sim, plan = self._plan(DegenerateClockTop)
         assert any("degenerate clock phase" in e for e in plan.exclusions)
-        assert not sim._specialized
+        # The signal-side exclusion holds — no fast signal classes — but
+        # the clock *thread* itself now passes the rendezvous admission
+        # (AnyOf composites are first-class since PR 10), an orthogonal
+        # per-thread proof that does not depend on phase durations.
+        assert not sim._fast_signals
+        assert plan.compiled_threads
+        assert sim._specialized
 
     def test_multi_writer_port_net_excluded(self):
         sim, plan = self._plan(SharedPortNetTop)

@@ -378,3 +378,86 @@ class TestLintCfg:
         err = capsys.readouterr().err
         assert "unknown rule code" in err
         assert "REP501" in err  # the known-codes hint
+
+
+class TestLintInterproc:
+    """The ``--interproc`` layer flag and the ``--specialize-report``."""
+
+    def test_interproc_flag_reports_rep601_on_deadlock_builtin(self, capsys):
+        assert main(["lint", "--builtin", "deadlock", "--interproc"]) == 1
+        out = capsys.readouterr().out
+        assert "REP601" in out
+        assert "wait-for cycle" in out
+        assert "REP310" in out  # the runtime/netlist cross-reference
+
+    def test_interproc_silent_without_flag(self, capsys):
+        main(["lint", "--builtin", "deadlock", "--dataflow", "--cfg"])
+        out = capsys.readouterr().out
+        assert "REP601" not in out
+
+    def test_builtin_templates_interproc_clean(self, capsys):
+        assert main(["lint", "--interproc"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_interproc_json_carries_layer_field(self, capsys):
+        import json
+
+        main(["lint", "--builtin", "deadlock", "--interproc", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        layers = {d["code"]: d["layer"] for d in payload[0]["diagnostics"]}
+        assert layers.get("REP601") == "interproc"
+
+    @pytest.mark.parametrize("code", ["REP601", "REP602", "REP603", "REP604"])
+    def test_explain_interproc_rules(self, code, capsys):
+        assert main(["lint", "--explain", code]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"{code} — ")
+        assert "layer: interproc" in out
+        assert "example:" in out
+
+    def test_specialize_report_lists_verdicts(self, capsys):
+        assert main(["lint", "--builtin", "reconfigurable", "--specialize-report"]) == 0
+        out = capsys.readouterr().out
+        assert "specialize report:" in out
+        # The SoC threads are excluded with per-thread reasons...
+        assert "thread top.drcf1" in out
+        # ...and the wholesale signal-side fallback is named too.
+        assert "fallback:" in out
+
+    def test_specialize_report_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "pipe_arch.py"
+        path.write_text(
+            "from repro.core import Netlist\n"
+            "from repro.kernel import Fifo, Module, ns\n"
+            "\n"
+            "class Pipe(Module):\n"
+            "    def __init__(self, name, parent=None, sim=None):\n"
+            "        super().__init__(name, parent=parent, sim=sim)\n"
+            "        self.fifo = Fifo(self.sim, capacity=2, name='f')\n"
+            "        self.add_thread(self.produce, name='produce')\n"
+            "        self.add_thread(self.consume, name='consume')\n"
+            "\n"
+            "    def produce(self):\n"
+            "        for i in range(4):\n"
+            "            yield from self.fifo.put(i)\n"
+            "            yield ns(2)\n"
+            "\n"
+            "    def consume(self):\n"
+            "        for _ in range(4):\n"
+            "            yield from self.fifo.get()\n"
+            "\n"
+            "def build_netlist():\n"
+            "    netlist = Netlist('net')\n"
+            "    netlist.add('dut', Pipe)\n"
+            "    return netlist\n"
+        )
+        assert main(["lint", str(path), "--specialize-report", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        verdicts = payload[0]["specialize"]
+        assert verdicts["compiled_threads"] == [
+            "net.dut.consume", "net.dut.produce",
+        ]
+        assert verdicts["thread_exclusions"] == []

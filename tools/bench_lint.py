@@ -2,13 +2,15 @@
 """Lint performance smoke: bound the deep analysis layers' wall-clock.
 
 The REP4xx dataflow layer parses every registered process body with the
-``ast`` module and assembles a design-level graph, and the REP5xx cfg
-layer builds a CFG and wait-state machine per body on top of it, so their
-cost grows with the model.  This harness times ``run_lint(dataflow=True)``
-and ``run_lint(dataflow=True, cfg=True)`` on the largest built-in
-architecture (the multi-fabric modem, every accelerator split across two
-fabrics) and — with ``--check`` — fails when a full analysis pass of
-either exceeds a generous wall-clock bound.  The point is not a precise
+``ast`` module and assembles a design-level graph, the REP5xx cfg layer
+builds a CFG and wait-state machine per body on top of it, and the REP6xx
+interproc layer adds wait-for/lock-order traces over the elaborated
+design, so their cost grows with the model.  This harness times
+``run_lint(dataflow=True)``, ``run_lint(dataflow=True, cfg=True)`` and
+``run_lint(dataflow=True, cfg=True, interproc=True)`` on the largest
+built-in architecture (the multi-fabric modem, every accelerator split
+across two fabrics) and — with ``--check`` — fails when a full analysis
+pass of any exceeds a generous wall-clock bound.  The point is not a precise
 perf trajectory (``bench_kernel.py`` owns that) but a CI tripwire: an
 accidentally quadratic rule or a lost cache shows up as seconds, not
 milliseconds.
@@ -54,13 +56,13 @@ def largest_netlist():
     return netlist
 
 
-def timed_passes(n_passes: int = PASSES, cfg: bool = False):
+def timed_passes(n_passes: int = PASSES, cfg: bool = False, interproc: bool = False):
     """Wall-clock of ``n_passes`` full lint runs of one layer, in seconds."""
     times = []
     for _ in range(n_passes):
         netlist = largest_netlist()
         start = time.perf_counter()
-        report = run_lint(netlist, dataflow=True, cfg=cfg)
+        report = run_lint(netlist, dataflow=True, cfg=cfg, interproc=interproc)
         times.append(time.perf_counter() - start)
         if report.has_errors:
             raise SystemExit(
@@ -79,8 +81,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    for label, cfg in (("dataflow", False), ("dataflow+cfg", True)):
-        times = timed_passes(cfg=cfg)
+    layers = (
+        ("dataflow", False, False),
+        ("dataflow+cfg", True, False),
+        ("dataflow+cfg+interproc", True, True),
+    )
+    for label, cfg, interproc in layers:
+        times = timed_passes(cfg=cfg, interproc=interproc)
         for i, t in enumerate(times, 1):
             print(f"{label} pass {i}: {t * 1e3:8.1f} ms")
         worst = max(times)

@@ -11,8 +11,8 @@
 #      the generic-vs-specialized equivalence matrix
 #   3. ruff check (skipped with a notice when ruff is not installed)
 #   4. static model lint over every example architecture, including the
-#      opt-in REP4xx dataflow and REP5xx control-flow layers (must be
-#      clean), plus a wall-clock bound on both analyzers
+#      opt-in REP4xx dataflow, REP5xx control-flow and REP6xx interproc
+#      layers (must be clean), plus a wall-clock bound on the analyzers
 #      (tools/bench_lint.py --check)
 #   5. fault-campaign smoke: seeded campaign must reproduce byte-for-byte
 #   6. DSE sweep smoke: parallel + cached sweeps must be byte-identical to
@@ -36,8 +36,8 @@ else
     echo "ruff not installed; skipping (config lives in pyproject.toml)"
 fi
 
-echo "== 4/6 static model lint over examples/ (with dataflow + cfg layers) =="
-python -m repro lint --dataflow --cfg examples/*.py
+echo "== 4/6 static model lint over examples/ (dataflow + cfg + interproc layers) =="
+python -m repro lint --dataflow --cfg --interproc examples/*.py
 python tools/bench_lint.py --check
 
 echo "== 5/6 fault-campaign reproducibility smoke =="
